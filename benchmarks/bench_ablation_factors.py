@@ -1,0 +1,66 @@
+"""Ablation: latent interest factors (DESIGN.md decision 1).
+
+The latent-factor space is what makes attribute audiences *correlate*
+beyond demographics.  With demographically neutral factors the AND of
+two options is (approximately) independence-multiplicative; with the
+default tilted factors, same-direction options cluster and the top
+compositions overlap realistically.  This bench measures the top-2-way
+amplification under both models.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro import build_audit_session
+from repro.core import audit_individuals, skewed_compositions
+from repro.core.stats import BoxStats
+from repro.population.demographics import SENSITIVE_ATTRIBUTES, Gender
+from repro.population.model import LatentFactorModel, default_model
+
+GENDER = SENSITIVE_ATTRIBUTES["gender"]
+
+
+def neutral_model(base: LatentFactorModel) -> LatentFactorModel:
+    """The same factor space with all demographic tilts removed."""
+    zeros4 = (0.0, 0.0, 0.0, 0.0)
+    return LatentFactorModel(
+        n_factors=base.n_factors,
+        factor_gender_shift=tuple(0.0 for _ in base.factor_gender_shift),
+        factor_age_shift=tuple(zeros4 for _ in base.factor_age_shift),
+        noise_scale=base.noise_scale,
+    )
+
+
+def amplification(model: LatentFactorModel) -> tuple[float, float]:
+    session = build_audit_session(n_records=15_000, seed=9, model=model)
+    target = session.targets["facebook_restricted"]
+    individual = audit_individuals(target, GENDER).filtered(10_000)
+    top = skewed_compositions(
+        target, GENDER, individual, Gender.MALE, "top", n=100, seed=0
+    ).filtered(10_000)
+    ind_box = BoxStats.from_values(individual.ratios(Gender.MALE))
+    top_box = BoxStats.from_values(top.ratios(Gender.MALE))
+    return ind_box.p90, top_box.median
+
+
+def test_ablation_latent_factors(benchmark):
+    def run():
+        tilted = amplification(default_model())
+        neutral = amplification(neutral_model(default_model()))
+        return tilted, neutral
+
+    (tilted_ind, tilted_top), (neutral_ind, neutral_top) = run_once(
+        benchmark, run
+    )
+
+    # Composition amplifies under BOTH models (the paper's core effect
+    # needs only per-option skew)...
+    assert tilted_top > tilted_ind
+    assert neutral_top > neutral_ind
+
+    benchmark.extra_info["tilted_top2_median"] = round(tilted_top, 2)
+    benchmark.extra_info["neutral_top2_median"] = round(neutral_top, 2)
+    benchmark.extra_info["note"] = (
+        "amplification survives removing factor tilts; tilts mainly drive "
+        "audience overlap (Table 1)"
+    )

@@ -1,0 +1,54 @@
+"""Ablation: estimate rounding (DESIGN.md decision 2).
+
+The paper verifies that the platforms' estimate rounding does not drive
+its conclusions.  This bench audits the same population through rounded
+and exact interfaces and compares the conclusions (fraction of skewed
+options, top-composition skew).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro import build_audit_session
+from repro.core import (
+    audit_individuals,
+    fraction_outside_four_fifths,
+    skewed_compositions,
+)
+from repro.core.stats import BoxStats
+from repro.platforms import ExactRounding
+from repro.population.demographics import SENSITIVE_ATTRIBUTES, Gender
+
+GENDER = SENSITIVE_ATTRIBUTES["gender"]
+
+
+def conclusions(rounding) -> tuple[float, float]:
+    session = build_audit_session(n_records=15_000, seed=9, rounding=rounding)
+    target = session.targets["facebook"]
+    individual = audit_individuals(target, GENDER).filtered(10_000)
+    skew_fraction = fraction_outside_four_fifths(
+        individual.ratios(Gender.MALE)
+    )
+    top = skewed_compositions(
+        target, GENDER, individual, Gender.MALE, "top", n=100, seed=0
+    ).filtered(10_000)
+    top_median = BoxStats.from_values(top.ratios(Gender.MALE)).median
+    return skew_fraction, top_median
+
+
+def test_ablation_rounding(benchmark):
+    def run():
+        return conclusions(None), conclusions(ExactRounding())
+
+    (rounded_frac, rounded_top), (exact_frac, exact_top) = run_once(
+        benchmark, run
+    )
+
+    # The paper's claim: rounding leaves the skew picture intact.
+    assert abs(rounded_frac - exact_frac) < 0.10
+    assert rounded_top > 1.25 and exact_top > 1.25
+
+    benchmark.extra_info["skewed_fraction_rounded"] = round(rounded_frac, 3)
+    benchmark.extra_info["skewed_fraction_exact"] = round(exact_frac, 3)
+    benchmark.extra_info["top2_median_rounded"] = round(rounded_top, 2)
+    benchmark.extra_info["top2_median_exact"] = round(exact_top, 2)

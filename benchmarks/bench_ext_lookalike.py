@@ -1,0 +1,27 @@
+"""Benchmark E11: lookalike vs special ad audience skew.
+
+Extension shape checks: the plain lookalike inherits (or amplifies) the
+seed's gender skew; the demographics-blind special ad audience
+attenuates it but typically remains outside parity because the latent
+interest space still correlates with gender.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import ext_lookalike
+
+
+def test_ext_lookalike(benchmark, ctx):
+    result = run_once(benchmark, ext_lookalike.run, ctx)
+
+    assert result.seed_ratio > 1.25
+    assert result.lookalike_ratio > 1.25
+    assert result.special_ad_attenuates
+    assert result.special_ad_ratio > 1.0
+
+    benchmark.extra_info["seed_ratio"] = round(result.seed_ratio, 2)
+    benchmark.extra_info["lookalike_ratio"] = round(result.lookalike_ratio, 2)
+    benchmark.extra_info["special_ad_ratio"] = round(
+        result.special_ad_ratio, 2
+    )

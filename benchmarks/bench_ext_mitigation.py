@@ -1,0 +1,27 @@
+"""Benchmark E12: outcome-based vs removal-based mitigation.
+
+Extension shape checks: the adapted discriminator fully evades the
+removal policy while the outcome monitor's directional-consistency
+detector flags them, at a lower burden than flagging everyone.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import ext_mitigation
+
+
+def test_ext_mitigation(benchmark, ctx):
+    result = run_once(benchmark, ext_mitigation.run, ctx)
+
+    assert result.removal_blocked_discriminator == 0.0
+    assert result.monitor_flagged_discriminator
+    assert result.monitor_flagged_honest < 1.0
+    assert result.discriminator_skewed_fraction > 0.9
+
+    benchmark.extra_info["monitor_false_positive_rate"] = round(
+        result.monitor_flagged_honest, 2
+    )
+    benchmark.extra_info["removal_blocked_honest"] = round(
+        result.removal_blocked_honest, 2
+    )

@@ -1,0 +1,34 @@
+"""Benchmark E1: regenerate Figure 1 (FB-restricted distributions).
+
+Paper shape checks: individual options on the restricted interface are
+already skewed (p90 > 1.25, p10 < 0.8), the Top/Bottom 2-way sets are
+substantially more skewed, and 3-way composition amplifies further.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1_restricted
+
+
+def test_fig1_restricted(benchmark, ctx):
+    result = run_once(benchmark, fig1_restricted.run, ctx)
+
+    individual = result.gender_panel.row("Individual")
+    top2 = result.gender_panel.row("Top 2-way")
+    top3 = result.gender_panel.row("Top 3-way")
+    bottom2 = result.gender_panel.row("Bottom 2-way")
+
+    # Paper: individual p90/p10 = 1.84/0.50.
+    assert individual.p90 > 1.25
+    assert individual.p10 < 0.8
+    # Paper: Top 2-way p90 reaches 8.98; composition amplifies.
+    assert top2.p90 > individual.p90 * 2
+    assert bottom2.p10 < individual.p10 / 2
+    # Paper: Top 3-way p90 (19.77) exceeds Top 2-way p90 (8.98).
+    assert top3.p90 > top2.p90
+
+    benchmark.extra_info["individual_p90_male"] = round(individual.p90, 2)
+    benchmark.extra_info["top2_p90_male"] = round(top2.p90, 2)
+    benchmark.extra_info["top3_p90_male"] = round(top3.p90, 2)
+    benchmark.extra_info["paper"] = "ind p90 1.84 / top2 8.98 / top3 19.77"

@@ -1,0 +1,30 @@
+"""Benchmark E2: regenerate Figure 2 (cross-platform distributions).
+
+Paper shape checks: LinkedIn's individual options skew more male than
+Facebook's; over 90% of Top 2-way pairs violate four-fifths on every
+platform.
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig2_platforms
+
+
+def test_fig2_platforms(benchmark, ctx):
+    result = run_once(benchmark, fig2_platforms.run, ctx)
+
+    li = result.gender_panels["linkedin"].row("Individual")
+    fb = result.gender_panels["facebook"].row("Individual")
+    # Paper: LinkedIn p90 toward males 2.09 vs Facebook 1.45.
+    assert li.p90 > fb.p90
+
+    for key, fraction in result.skewed_pair_fraction.items():
+        if not math.isnan(fraction):
+            assert fraction > 0.85, key
+
+    benchmark.extra_info["linkedin_ind_p90_male"] = round(li.p90, 2)
+    benchmark.extra_info["facebook_ind_p90_male"] = round(fb.p90, 2)
+    benchmark.extra_info["paper"] = "LinkedIn 2.09 vs Facebook 1.45; >90% pairs skewed"

@@ -1,0 +1,30 @@
+"""Benchmark E3: regenerate Figure 3 (removal sweep, gender).
+
+Paper shape checks: removing the most skewed individual options lowers
+the Top 2-way p90, but even at the 10th percentile of removals the
+compositions remain outside the four-fifths band (paper: p90 still 3.02
+on FB-restricted after removing the top 10%).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig3_removal
+
+
+def test_fig3_removal_gender(benchmark, ctx):
+    result = run_once(benchmark, fig3_removal.run, ctx)
+
+    for key, curve in result.top_curves.items():
+        series = dict(curve.headline_series())
+        first = series[min(series)]
+        last = series[max(series)]
+        assert last <= first * 1.2, key  # skew drops (tolerating noise)
+        assert last > 1.25, key  # ... but never inside four-fifths
+
+    fbr = dict(result.top_curves["facebook_restricted"].headline_series())
+    benchmark.extra_info["fb_restricted_p90_at_0"] = round(fbr[min(fbr)], 2)
+    benchmark.extra_info["fb_restricted_p90_at_max_removal"] = round(
+        fbr[max(fbr)], 2
+    )
+    benchmark.extra_info["paper"] = "p90 still 3.02 after removing top 10%"

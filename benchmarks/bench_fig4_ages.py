@@ -1,0 +1,32 @@
+"""Benchmark E4: regenerate Figure 4 (age-range distributions).
+
+Paper shape checks: the pattern of Figure 1/2 (individuals skewed,
+compositions more so) repeats for 25-34, 35-54, and 55+; older users
+(55+) can be effectively excluded via compositions on LinkedIn.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig4_ages
+from repro.population.demographics import AgeRange
+
+
+def test_fig4_ages(benchmark, ctx):
+    result = run_once(benchmark, fig4_ages.run, ctx)
+
+    for (age, key), panel in result.panels.items():
+        individual = panel.row("Individual")
+        top = panel.row("Top 2-way")
+        if individual.is_empty or top.is_empty:
+            continue
+        assert top.p90 >= individual.p90, (age, key)
+
+    li_55 = result.panel(AgeRange.AGE_55_PLUS, "linkedin")
+    bottom = li_55.row("Bottom 2-way")
+    if not bottom.is_empty:
+        # Compositions can effectively exclude older LinkedIn users.
+        assert bottom.median < 0.8
+
+    benchmark.extra_info["panels"] = len(result.panels)
+    benchmark.extra_info["paper"] = "composition amplifies for all age ranges"

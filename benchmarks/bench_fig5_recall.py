@@ -1,0 +1,38 @@
+"""Benchmark E5: regenerate Figure 5 (recall distributions).
+
+Paper shape checks: skewed compositions reach substantial absolute
+audiences (tens of thousands to millions) that are nonetheless small
+*fractions* of the sensitive population, and compositions achieve lower
+median recall than individual options.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_recall
+
+
+def test_fig5_recall(benchmark, ctx):
+    result = run_once(benchmark, fig5_recall.run, ctx)
+
+    checked = 0
+    for (pop_label, key), panel in result.panels.items():
+        individual = panel.row("Individual (all)")
+        top = panel.row("Top 2-way (skewed)")
+        if individual.is_empty or top.is_empty:
+            continue
+        checked += 1
+        # Compositions reach fewer users than individual options...
+        assert top.median <= individual.median, (pop_label, key)
+        # ...but only a niche share of the sensitive population.
+        fraction = panel.median_recall_fraction("Top 2-way (skewed)")
+        assert fraction < 0.35, (pop_label, key)
+    assert checked >= 4
+
+    female_fb = result.panel("Female", "facebook")
+    benchmark.extra_info["fb_female_top2_median"] = female_fb.row(
+        "Top 2-way (skewed)"
+    ).median
+    benchmark.extra_info["paper"] = (
+        "FB female top2 median 1.9M (1.58%); individual 5.2M (4.33%)"
+    )

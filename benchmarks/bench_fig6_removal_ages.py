@@ -1,0 +1,40 @@
+"""Benchmark E6: regenerate Figure 6 (removal sweeps across ages).
+
+Paper shape check: "in most cases, the removal of even the top 10
+percentile most skewed individual attributes is insufficient to
+mitigate skew in the resulting targeting compositions."
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6_removal_ages
+from repro.population.demographics import AgeRange
+
+
+def test_fig6_removal_ages(benchmark, ctx):
+    result = run_once(
+        benchmark,
+        fig6_removal_ages.run,
+        ctx,
+        ages=(AgeRange.AGE_18_24, AgeRange.AGE_55_PLUS),
+    )
+
+    still_violating = 0
+    total = 0
+    for age, sub in result.by_age.items():
+        for key, curve in sub.top_curves.items():
+            series = dict(curve.headline_series())
+            if not series:
+                continue
+            total += 1
+            if series[max(series)] > 1.25:
+                still_violating += 1
+    assert total >= 4
+    # "In most cases" removal is insufficient.
+    assert still_violating / total > 0.5
+
+    benchmark.extra_info["curves_still_violating"] = (
+        f"{still_violating}/{total}"
+    )
+    benchmark.extra_info["paper"] = "removal insufficient in most cases"

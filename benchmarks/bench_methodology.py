@@ -1,0 +1,36 @@
+"""Benchmark E10: regenerate the Section 3 size-estimate studies.
+
+Paper shape checks: estimates are consistent across repeated calls on
+every platform; the inferred rounding matches the platform rules (<=1
+significant digit below 100k on Google, <=2 elsewhere); skew survives
+the least-skewed rounding-consistent re-evaluation for most targetings.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import methodology
+
+
+def test_methodology_studies(benchmark, ctx):
+    result = run_once(benchmark, methodology.run, ctx)
+
+    assert all(r.all_consistent for r in result.consistency.values())
+
+    google = result.granularity["google"]
+    assert google.max_digits_below_100k <= 1 or google.n_estimates < 100
+    for key in ("facebook", "facebook_restricted", "linkedin"):
+        assert result.granularity[key].max_digits_below_100k <= 2
+
+    preserved = [
+        r.skew_preserved_fraction
+        for r in result.sensitivity.values()
+        if r.n_skewed_measured
+    ]
+    assert preserved and min(preserved) > 0.5
+
+    benchmark.extra_info["granularity_google"] = google.summary()
+    benchmark.extra_info["min_skew_preserved"] = round(min(preserved), 3)
+    benchmark.extra_info["paper"] = (
+        "estimates consistent; Google 1 digit <100k; skew robust to rounding"
+    )

@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures.
+
+Every figure/table benchmark runs its experiment driver against one
+shared small-scale context (same structure as the paper's runs, ~10x
+fewer compositions).  Macro-benchmarks use ``benchmark.pedantic`` with
+one round: the interesting number is the cold end-to-end cost of
+regenerating the artifact, and the audit caches would make warm rounds
+meaningless.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return ExperimentConfig.small().with_records(30_000)
+
+
+@pytest.fixture(scope="session")
+def ctx(bench_config):
+    """Shared experiment context (population build cost paid once)."""
+    return ExperimentContext(bench_config)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with a single cold round and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

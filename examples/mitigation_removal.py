@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Would removing skewed options fix compositional discrimination?
+
+Reproduces the paper's mitigation analysis (Figure 3) interactively:
+remove the most male-skewed individual options from Facebook's
+restricted interface in 2-percentile steps, re-discover the most skewed
+2-way compositions among the survivors, and watch whether the 90th-
+percentile representation ratio ever re-enters the four-fifths band.
+
+The paper's answer -- and this script's -- is no: "even an approach
+based on removing all highly skewed individual targeting attributes is
+also likely insufficient."
+
+Run:
+    python examples/mitigation_removal.py
+"""
+
+from __future__ import annotations
+
+from repro import build_audit_session
+from repro.core import audit_individuals, removal_sweep
+from repro.core.metrics import FOUR_FIFTHS_HIGH
+from repro.population.demographics import SENSITIVE_ATTRIBUTES, Gender
+
+GENDER = SENSITIVE_ATTRIBUTES["gender"]
+
+
+def bar(ratio: float, scale: float = 8.0, width: int = 40) -> str:
+    filled = min(width, int(round(ratio / scale * width)))
+    return "#" * filled
+
+
+def main() -> None:
+    print("building simulated platforms ...")
+    session = build_audit_session(n_records=40_000, seed=7)
+    target = session.targets["facebook_restricted"]
+
+    print("auditing all 393 restricted-interface options individually ...")
+    individual = audit_individuals(target, GENDER)
+
+    print("sweeping removal percentiles (greedy re-discovery each step) ...\n")
+    curve = removal_sweep(
+        target,
+        GENDER,
+        individual,
+        Gender.MALE,
+        direction="top",
+        percentiles=(0, 2, 4, 6, 8, 10),
+        n_compositions=200,
+        seed=1,
+    )
+
+    print("Top 2-way male skew vs. removal of most-male-skewed options")
+    print(f"{'removed':>8s}  {'options':>7s}  {'p90 ratio':>9s}")
+    for point in curve.points:
+        marker = (
+            "  <- still outside four-fifths"
+            if point.box.p90 > FOUR_FIFTHS_HIGH
+            else "  (inside four-fifths)"
+        )
+        print(
+            f"{point.percentile_removed:>7.0f}%  "
+            f"{point.n_options_removed:>7d}  "
+            f"{point.box.p90:>9.2f}  {bar(point.box.p90)}{marker}"
+        )
+
+    final = curve.points[-1]
+    print()
+    if final.box.p90 > FOUR_FIFTHS_HIGH:
+        print(
+            "Even after removing the top 10% most skewed options, the most\n"
+            "skewed compositions remain far outside the four-fifths band\n"
+            f"(p90 = {final.box.p90:.2f}; paper measured 3.02). Removal-based\n"
+            "mitigation is insufficient — outcome-based review is needed."
+        )
+    else:
+        print("Removal sufficed at this scale; the paper found it does not.")
+
+
+if __name__ == "__main__":
+    main()

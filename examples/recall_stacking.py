@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Stacking skewed compositions to increase recall (the paper's Table 1).
+
+A single skewed composition reaches only a niche slice of a sensitive
+population.  Because the audiences of different skewed compositions
+barely overlap, an advertiser can run the same ad across several of
+them and multiply the reach.  This script measures, on Facebook's full
+interface, the female recall of the single most female-skewed 2-way
+composition versus the union of the top ten -- estimating the union
+exactly as the paper does, with inclusion-exclusion over and-of-ors
+size queries, and showing the Bonferroni convergence of the estimate.
+
+Run:
+    python examples/recall_stacking.py
+"""
+
+from __future__ import annotations
+
+from repro import build_audit_session
+from repro.core import (
+    audit_individuals,
+    pairwise_overlaps,
+    skewed_compositions,
+    union_recall,
+)
+from repro.population.demographics import SENSITIVE_ATTRIBUTES, Gender
+from repro.reporting import format_count, format_percent
+
+GENDER = SENSITIVE_ATTRIBUTES["gender"]
+
+
+def main() -> None:
+    print("building simulated platforms ...")
+    session = build_audit_session(n_records=40_000, seed=7)
+    target = session.targets["facebook"]
+    names = target.option_names()
+
+    print("discovering the most female-skewed 2-way compositions ...")
+    individual = audit_individuals(target, GENDER).filtered(10_000)
+    top = skewed_compositions(
+        target, GENDER, individual, Gender.FEMALE, "top", n=200, seed=1
+    ).filtered(10_000)
+    comps = [a.options for a in top.top_by_ratio(Gender.FEMALE, 10)]
+
+    print("\ntop compositions:")
+    for comp in comps[:5]:
+        print("  " + " AND ".join(names[o] for o in comp))
+    print("  ...")
+
+    overlaps = pairwise_overlaps(target, comps, Gender.FEMALE)
+    print(
+        f"\nmedian pairwise audience overlap: "
+        f"{format_percent(overlaps.median_overlap)} "
+        "(small -> stacking pays off; paper's medians were 0-23%)"
+    )
+
+    female_base = target.base_sizes(GENDER)[Gender.FEMALE]
+    top1 = target.intersection_size([comps[0]], Gender.FEMALE)
+    union = union_recall(target, comps, Gender.FEMALE)
+
+    print("\ninclusion-exclusion partial sums (Bonferroni bounds):")
+    for order, partial in enumerate(union.partial_sums, start=1):
+        bound = "upper" if order % 2 else "lower"
+        print(f"  order {order}: {format_count(partial):>7s}  ({bound} bound)")
+    print(f"  converged: {union.converged} after {union.n_queries} queries")
+
+    gain = union.estimate / top1 if top1 else float("inf")
+    print(
+        f"\ntop-1 recall:  {format_count(top1)} "
+        f"({format_percent(top1 / female_base)} of females)"
+    )
+    print(
+        f"top-10 union:  {format_count(union.estimate)} "
+        f"({format_percent(union.estimate / female_base)} of females)"
+        f"  -> {gain:.1f}x the single composition"
+    )
+    print("\npaper: females on Facebook 270K (0.2%) -> 4.0M (3.3%)")
+
+
+if __name__ == "__main__":
+    main()

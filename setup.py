@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept alongside ``pyproject.toml`` so editable installs work in offline
+environments whose setuptools lacks the ``wheel`` package required by
+the PEP 660 build path (``pip install -e . --no-use-pep517`` then falls
+back to the classic develop install).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,137 @@
+"""repro -- reproduction of "On the Potential for Discrimination via
+Composition" (Venkatadri & Mislove, IMC 2020).
+
+The package has three layers:
+
+* :mod:`repro.population` + :mod:`repro.platforms` + :mod:`repro.api` --
+  the simulated substrate standing in for live advertiser access to
+  Facebook, Google, and LinkedIn (synthetic populations, full targeting
+  interfaces with per-platform composition rules and estimate rounding,
+  and a fake-HTTP API layer);
+* :mod:`repro.core` -- the paper's methodology as a reusable audit
+  library (representation ratios, greedy skewed-composition discovery,
+  overlap/union-recall analysis, mitigation sweeps, estimate studies);
+* :mod:`repro.experiments` + :mod:`repro.reporting` -- drivers that
+  regenerate every figure and table in the paper's evaluation.
+
+Quickstart::
+
+    from repro import build_audit_session
+    session = build_audit_session(n_records=30_000, seed=7)
+    target = session.targets["facebook_restricted"]
+    from repro.core import audit_individuals
+    from repro.population.demographics import SENSITIVE_ATTRIBUTES, Gender
+    individual = audit_individuals(target, SENSITIVE_ATTRIBUTES["gender"])
+    print(sorted(individual.ratios(Gender.MALE))[-5:])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api import (
+    FakeTransport,
+    VirtualClock,
+    build_clients,
+    mount_suite_routes,
+)
+from repro.api.client import ReachClient
+from repro.core import AuditTarget, build_audit_targets
+from repro.platforms import (
+    PlatformSuite,
+    RoundingPolicy,
+    TargetingSpec,
+    build_platform_suite,
+)
+from repro.population.demographics import (
+    AGE_RANGES,
+    GENDERS,
+    SENSITIVE_ATTRIBUTES,
+    AgeRange,
+    Gender,
+    SensitiveAttribute,
+)
+from repro.population.model import LatentFactorModel, default_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AGE_RANGES",
+    "AuditSession",
+    "AuditTarget",
+    "AgeRange",
+    "GENDERS",
+    "Gender",
+    "LatentFactorModel",
+    "PlatformSuite",
+    "SENSITIVE_ATTRIBUTES",
+    "SensitiveAttribute",
+    "TargetingSpec",
+    "__version__",
+    "build_audit_session",
+    "build_platform_suite",
+    "default_model",
+]
+
+
+@dataclass
+class AuditSession:
+    """Everything needed to run the paper's experiments.
+
+    Bundles the simulated platform suite, the fake transport with its
+    mounted routes, the per-interface API clients, and the audit
+    targets built on top of them.
+    """
+
+    suite: PlatformSuite
+    transport: FakeTransport
+    clients: dict[str, ReachClient]
+    targets: dict[str, AuditTarget]
+
+    @property
+    def target_order(self) -> list[str]:
+        """Interface keys in the paper's presentation order."""
+        return ["facebook_restricted", "facebook", "google", "linkedin"]
+
+    def total_api_requests(self) -> int:
+        """Requests observed by the transport across the session."""
+        return self.transport.total_requests
+
+
+def build_audit_session(
+    n_records: int = 50_000,
+    seed: int = 42,
+    model: LatentFactorModel | None = None,
+    rounding: RoundingPolicy | None = None,
+    rate_limit: float | None = None,
+) -> AuditSession:
+    """Construct the full simulation + audit stack.
+
+    Parameters
+    ----------
+    n_records:
+        Simulated records per platform population (each represents
+        many real users; see ``DESIGN.md``).
+    seed:
+        Root seed; everything downstream is deterministic in it.
+    model:
+        Optional latent-factor model override (ablations).
+    rounding:
+        Optional rounding-policy override applied to every interface
+        (pass :class:`repro.platforms.ExactRounding` to disable
+        estimate rounding).
+    rate_limit:
+        Requests/second allowed per account; ``None`` disables rate
+        limiting, which is the right default for batch experiments on
+        the virtual clock.
+    """
+    suite = build_platform_suite(
+        n_records=n_records, seed=seed, model=model, rounding=rounding
+    )
+    transport = FakeTransport(clock=VirtualClock(), rate=rate_limit)
+    mount_suite_routes(transport, suite)
+    clients = build_clients(transport)
+    targets = build_audit_targets(clients)
+    return AuditSession(
+        suite=suite, transport=transport, clients=clients, targets=targets
+    )

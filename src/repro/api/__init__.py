@@ -1,0 +1,48 @@
+"""Advertiser-facing API layer over the simulated platforms.
+
+The paper does not scrape UIs by hand: the authors identified the
+underlying API calls the targeting UIs make and automated them with a
+Python script, respecting rate limits (Section 3, "Automating size
+queries").  This package reproduces that layer:
+
+``transport``
+    A virtual-clock fake HTTP transport with per-account rate limiting
+    and request accounting (no real sockets, no real sleeping).
+``ratelimit``
+    Token-bucket rate limiter driven by the virtual clock.
+``obfuscation``
+    Google's obfuscated-JSON request/response codec; Facebook's and
+    LinkedIn's wire formats are plain JSON.
+``client``
+    Per-platform reach-estimate clients used by the audit core, which
+    retry politely after 429 responses.
+``routes``
+    Server-side request handlers mounted on the transport.
+"""
+
+from repro.api.client import (
+    FacebookReachClient,
+    GoogleReachClient,
+    LinkedInReachClient,
+    ReachClient,
+    build_clients,
+)
+from repro.api.obfuscation import GoogleWireCodec
+from repro.api.ratelimit import TokenBucket
+from repro.api.routes import mount_suite_routes
+from repro.api.transport import FakeTransport, HttpRequest, HttpResponse, VirtualClock
+
+__all__ = [
+    "FacebookReachClient",
+    "FakeTransport",
+    "GoogleReachClient",
+    "GoogleWireCodec",
+    "HttpRequest",
+    "HttpResponse",
+    "LinkedInReachClient",
+    "ReachClient",
+    "TokenBucket",
+    "VirtualClock",
+    "build_clients",
+    "mount_suite_routes",
+]

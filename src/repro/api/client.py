@@ -1,0 +1,282 @@
+"""Audit-side API clients.
+
+These are the reproduction of the paper's measurement script: Python
+clients that hit the platforms' reach-estimate endpoints, encode
+targeting specs in each platform's wire format (including Google's
+obfuscated JSON), back off politely on 429 rate-limit responses, and
+translate error payloads back into typed exceptions so the audit core
+can react (e.g. skip compositions Google cannot express).
+
+Clients are deliberately thin: no caching and no audit logic here --
+the :mod:`repro.core` layer owns both.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.api.obfuscation import GoogleWireCodec
+from repro.api.transport import FakeTransport, HttpRequest
+from repro.api.wire import FacebookWireCodec, LinkedInWireCodec
+from repro.platforms.errors import (
+    ApiError,
+    BadRequestError,
+    CampaignConfigError,
+    DisallowedTargetingError,
+    ExclusionNotAllowedError,
+    NoSizeEstimateError,
+    PlatformError,
+    TargetingError,
+    UnknownOptionError,
+    UnsupportedCompositionError,
+)
+from repro.platforms.google import MOST_RESTRICTIVE_CAP, FrequencyCap
+from repro.platforms.targeting import TargetingSpec
+
+__all__ = [
+    "CatalogOption",
+    "ReachClient",
+    "FacebookReachClient",
+    "GoogleReachClient",
+    "LinkedInReachClient",
+    "build_clients",
+]
+
+#: Error ``kind`` strings (from the transport) back to exception types.
+_ERROR_KINDS: dict[str, type[PlatformError]] = {
+    "TargetingError": TargetingError,
+    "UnknownOptionError": TargetingError,
+    "DisallowedTargetingError": DisallowedTargetingError,
+    "ExclusionNotAllowedError": ExclusionNotAllowedError,
+    "UnsupportedCompositionError": UnsupportedCompositionError,
+    "CampaignConfigError": CampaignConfigError,
+}
+
+
+@dataclass(frozen=True)
+class CatalogOption:
+    """A catalog entry as seen through the API."""
+
+    option_id: str
+    feature: str
+    category: str
+    name: str
+    demographic: Mapping[str, str] | None = None
+    free_form: bool = False
+
+    @property
+    def display(self) -> str:
+        """Category-qualified display name."""
+        return f"{self.category} — {self.name}"
+
+
+def _parse_option(raw: Mapping[str, Any]) -> CatalogOption:
+    return CatalogOption(
+        option_id=raw["id"],
+        feature=raw["feature"],
+        category=raw["category"],
+        name=raw["name"],
+        demographic=raw.get("demographic"),
+        free_form=bool(raw.get("free_form")),
+    )
+
+
+class ReachClient(ABC):
+    """Base API client with polite 429 back-off on the virtual clock."""
+
+    #: Registry key of the interface this client measures.
+    interface_key: str = ""
+
+    def __init__(
+        self,
+        transport: FakeTransport,
+        account: str = "audit",
+        max_retries: int = 16,
+    ):
+        self.transport = transport
+        self.account = account
+        self.max_retries = int(max_retries)
+        self.request_count = 0
+        self._catalog_cache: list[CatalogOption] | None = None
+
+    def _call(
+        self, method: str, path: str, body: Mapping[str, Any] | None = None
+    ) -> Mapping[str, Any]:
+        """One API call with rate-limit retries and error translation."""
+        retries = 0
+        while True:
+            self.request_count += 1
+            response = self.transport.request(
+                HttpRequest(method=method, path=path, body=body, account=self.account)
+            )
+            if response.status == 429:
+                retries += 1
+                if retries > self.max_retries:
+                    raise ApiError("rate limit retries exhausted")
+                self.transport.clock.sleep(
+                    float(response.body.get("retry_after", 1.0)) + 1e-6
+                )
+                continue
+            if response.ok:
+                return response.body
+            message = str(response.body.get("error", "unknown error"))
+            kind = response.body.get("kind")
+            if response.status == 422:
+                raise NoSizeEstimateError(message)
+            if kind in _ERROR_KINDS:
+                raise _ERROR_KINDS[kind](message)
+            if response.status == 400:
+                raise BadRequestError(message)
+            raise ApiError(f"HTTP {response.status}: {message}")
+
+    # -- common surface -----------------------------------------------------
+
+    @property
+    @abstractmethod
+    def _catalog_path(self) -> str: ...
+
+    def catalog(self) -> list[CatalogOption]:
+        """The interface's browsable targeting-option list (cached)."""
+        if self._catalog_cache is None:
+            body = self._call("GET", self._catalog_path)
+            self._catalog_cache = [_parse_option(o) for o in body["options"]]
+        return self._catalog_cache
+
+    def option_names(self) -> dict[str, str]:
+        """Display names keyed by option id."""
+        return {o.option_id: o.display for o in self.catalog()}
+
+    @abstractmethod
+    def estimate(self, spec: TargetingSpec) -> int:
+        """Rounded audience-size estimate for a targeting spec."""
+
+
+class FacebookReachClient(ReachClient):
+    """Client for Facebook's delivery-estimate endpoint.
+
+    One client per interface: pass ``restricted=True`` for the
+    special-ad-category endpoints.
+    """
+
+    def __init__(
+        self,
+        transport: FakeTransport,
+        restricted: bool = False,
+        account: str = "audit",
+        objective: str = "Reach",
+    ):
+        super().__init__(transport, account=account)
+        self.restricted = restricted
+        self.objective = objective
+        self.interface_key = "facebook_restricted" if restricted else "facebook"
+        prefix = "/facebook/special" if restricted else "/facebook"
+        self._estimate_path = f"{prefix}/delivery_estimate"
+        self._options_path = f"{prefix}/targeting_options"
+
+    @property
+    def _catalog_path(self) -> str:
+        return self._options_path
+
+    def estimate(self, spec: TargetingSpec) -> int:
+        body = FacebookWireCodec.encode_request(spec, objective=self.objective)
+        return FacebookWireCodec.decode_response(
+            self._call("POST", self._estimate_path, body)
+        )
+
+    def search(self, query: str) -> list[CatalogOption]:
+        """Free-form attribute search (normal interface only)."""
+        if self.restricted:
+            raise DisallowedTargetingError(
+                "the restricted interface has no free-form attribute search"
+            )
+        body = self._call("GET", "/facebook/targeting_search", {"q": query})
+        return [_parse_option(o) for o in body["options"]]
+
+
+class GoogleReachClient(ReachClient):
+    """Client for Google's obfuscated reach-estimate endpoint.
+
+    Always sends the paper's settings: "Display" semantics via the
+    reach endpoint, the *Brand awareness and reach* objective, and the
+    most restrictive frequency cap (one impression per user per month)
+    so impressions approximate users.
+    """
+
+    interface_key = "google"
+
+    def __init__(
+        self,
+        transport: FakeTransport,
+        account: str = "audit",
+        frequency_cap: FrequencyCap = MOST_RESTRICTIVE_CAP,
+        objective: str = "Brand awareness and reach",
+    ):
+        super().__init__(transport, account=account)
+        self.frequency_cap = frequency_cap
+        self.objective = objective
+        self._codec = GoogleWireCodec()
+        self._feature_of: dict[str, str] | None = None
+
+    @property
+    def _catalog_path(self) -> str:
+        return "/google/criteria"
+
+    def _features(self) -> dict[str, str]:
+        if self._feature_of is None:
+            self._feature_of = {o.option_id: o.feature for o in self.catalog()}
+        return self._feature_of
+
+    def estimate(self, spec: TargetingSpec) -> int:
+        body = self._codec.encode_request(
+            spec,
+            feature_of=self._features(),
+            frequency_cap=self.frequency_cap,
+            objective=self.objective,
+        )
+        return self._codec.decode_response(
+            self._call("POST", "/google/reach_estimate", body)
+        )
+
+
+class LinkedInReachClient(ReachClient):
+    """Client for LinkedIn's audience-count endpoint."""
+
+    interface_key = "linkedin"
+
+    @property
+    def _catalog_path(self) -> str:
+        return "/linkedin/facets"
+
+    def estimate(self, spec: TargetingSpec) -> int:
+        body = LinkedInWireCodec.encode_request(spec)
+        return LinkedInWireCodec.decode_response(
+            self._call("POST", "/linkedin/audience_count", body)
+        )
+
+    def demographic_option_id(self, label: str) -> str:
+        """Facet id of a demographic detailed attribute by value label.
+
+        LinkedIn expresses genders and age ranges as detailed targeting
+        attributes; the audit ANDs these into rules to measure
+        per-demographic audience sizes.
+        """
+        for option in self.catalog():
+            if option.demographic and option.demographic["value"] == label:
+                return option.option_id
+        raise KeyError(f"no demographic facet for {label!r}")
+
+
+def build_clients(
+    transport: FakeTransport, account: str = "audit"
+) -> dict[str, ReachClient]:
+    """Clients for the four studied interfaces, keyed like the suite."""
+    return {
+        "facebook_restricted": FacebookReachClient(
+            transport, restricted=True, account=account
+        ),
+        "facebook": FacebookReachClient(transport, restricted=False, account=account),
+        "google": GoogleReachClient(transport, account=account),
+        "linkedin": LinkedInReachClient(transport, account=account),
+    }

@@ -1,0 +1,196 @@
+"""Google's obfuscated-JSON wire format.
+
+The paper notes that while Facebook's and LinkedIn's targeting-UI API
+calls are unobfuscated, "the API calls made by Google consist of
+obfuscated json; by manually varying the targeting options
+systematically, we find a mapping between the targeting options and
+particular keys and values in the obfuscated json" (Section 3).
+
+This module is that mapping, reconstructed: requests are nested dicts
+of numeric-string keys, targeting options are numeric criterion ids
+(stable CRC32 hashes of the option identifiers, mimicking Google's
+criterion-id space), and the reach estimate comes back under an equally
+opaque key path.  The audit client encodes through
+:class:`GoogleWireCodec`; the server-side route decodes with the same
+codec plus a reverse criterion-id table built from the catalog.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Iterable, Mapping
+
+from repro.platforms.errors import BadRequestError
+from repro.platforms.google import FrequencyCap
+from repro.platforms.targeting import Clause, TargetingSpec
+from repro.population.demographics import AgeRange, Gender
+
+__all__ = ["GoogleWireCodec", "criterion_id"]
+
+# Obfuscated field numbers (as reverse-engineered by "manually varying
+# the targeting options systematically").
+_F_COUNTRY = "1"
+_F_GENDERS = "2"
+_F_AGES = "3"
+_F_CRITERIA = "4"
+_F_FREQ_CAP = "5"
+_F_OBJECTIVE = "6"
+_F_ESTIMATE_WRAPPER = "1"
+_F_ESTIMATE_VALUE = "2"
+
+_COUNTRY_CODES = {"US": 840}  # ISO 3166-1 numeric, as Google uses
+_COUNTRY_DECODE = {v: k for k, v in _COUNTRY_CODES.items()}
+
+_GENDER_CODES = {Gender.MALE: 10, Gender.FEMALE: 11}
+_GENDER_DECODE = {v: k for k, v in _GENDER_CODES.items()}
+
+_AGE_CODES = {
+    AgeRange.AGE_18_24: 503001,
+    AgeRange.AGE_25_34: 503002,
+    AgeRange.AGE_35_54: 503003,
+    AgeRange.AGE_55_PLUS: 503004,
+}
+_AGE_DECODE = {v: k for k, v in _AGE_CODES.items()}
+
+_FEATURE_CODES = {"audiences": 201, "topics": 202}
+_FEATURE_DECODE = {v: k for k, v in _FEATURE_CODES.items()}
+
+_CAP_PERIOD_CODES = {"day": 1, "week": 2, "month": 3}
+_CAP_PERIOD_DECODE = {v: k for k, v in _CAP_PERIOD_CODES.items()}
+
+
+def criterion_id(option_id: str) -> int:
+    """Stable numeric criterion id for a targeting option."""
+    return zlib.crc32(option_id.encode())
+
+
+class GoogleWireCodec:
+    """Encode/decode reach-estimate requests in Google's wire format.
+
+    The decoder needs a criterion-id table mapping numeric ids back to
+    option identifiers; the server builds it from the platform catalog,
+    while the client only ever encodes (it learned the forward mapping
+    by varying options systematically, as the paper describes).
+    """
+
+    def __init__(self, option_ids: Iterable[str] = ()):
+        self._reverse: dict[int, str] = {}
+        for option_id in option_ids:
+            self.register_option(option_id)
+
+    def register_option(self, option_id: str) -> int:
+        """Add an option to the reverse table, returning its criterion id."""
+        cid = criterion_id(option_id)
+        existing = self._reverse.get(cid)
+        if existing is not None and existing != option_id:
+            raise ValueError(
+                f"criterion id collision: {option_id!r} vs {existing!r}"
+            )
+        self._reverse[cid] = option_id
+        return cid
+
+    # -- encoding (client side) -------------------------------------------
+
+    def encode_request(
+        self,
+        spec: TargetingSpec,
+        feature_of: Mapping[str, str],
+        frequency_cap: FrequencyCap | None = None,
+        objective: str | None = None,
+    ) -> dict[str, Any]:
+        """Obfuscated request body for a targeting spec.
+
+        ``feature_of`` maps option ids to their feature so criteria can
+        be grouped under per-feature keys as the real payload does.
+        """
+        body: dict[str, Any] = {_F_COUNTRY: _COUNTRY_CODES[spec.country]}
+        if spec.genders is not None:
+            body[_F_GENDERS] = sorted(_GENDER_CODES[g] for g in spec.genders)
+        if spec.age_ranges is not None:
+            body[_F_AGES] = sorted(_AGE_CODES[a] for a in spec.age_ranges)
+        criteria: dict[str, list[list[int]]] = {}
+        for clause in spec.clauses:
+            features = {feature_of[o] for o in clause}
+            if len(features) != 1:
+                raise ValueError("a Google clause must be single-feature")
+            fcode = str(_FEATURE_CODES[features.pop()])
+            criteria.setdefault(fcode, []).append(
+                sorted(criterion_id(o) for o in clause)
+            )
+        if criteria:
+            body[_F_CRITERIA] = criteria
+        if frequency_cap is not None:
+            body[_F_FREQ_CAP] = {
+                "1": frequency_cap.impressions,
+                "2": _CAP_PERIOD_CODES[frequency_cap.per],
+            }
+        if objective is not None:
+            body[_F_OBJECTIVE] = objective
+        return body
+
+    # -- decoding (server side) -------------------------------------------
+
+    def decode_request(
+        self, body: Mapping[str, Any]
+    ) -> tuple[TargetingSpec, FrequencyCap | None, str | None]:
+        """Parse an obfuscated body back into a targeting spec."""
+        try:
+            country = _COUNTRY_DECODE[int(body[_F_COUNTRY])]
+        except (KeyError, TypeError, ValueError):
+            raise BadRequestError("missing or unknown country code") from None
+
+        genders = None
+        if _F_GENDERS in body:
+            try:
+                genders = frozenset(_GENDER_DECODE[int(c)] for c in body[_F_GENDERS])
+            except (KeyError, TypeError, ValueError):
+                raise BadRequestError("unknown gender code") from None
+        ages = None
+        if _F_AGES in body:
+            try:
+                ages = frozenset(_AGE_DECODE[int(c)] for c in body[_F_AGES])
+            except (KeyError, TypeError, ValueError):
+                raise BadRequestError("unknown age code") from None
+
+        clauses: list[list[str]] = []
+        for fcode, groups in dict(body.get(_F_CRITERIA, {})).items():
+            if int(fcode) not in _FEATURE_DECODE:
+                raise BadRequestError(f"unknown feature code {fcode}")
+            for group in groups:
+                try:
+                    clauses.append([self._reverse[int(cid)] for cid in group])
+                except KeyError as exc:
+                    raise BadRequestError(
+                        f"unknown criterion id {exc.args[0]}"
+                    ) from None
+
+        cap = None
+        if _F_FREQ_CAP in body:
+            raw = body[_F_FREQ_CAP]
+            try:
+                cap = FrequencyCap(
+                    impressions=int(raw["1"]),
+                    per=_CAP_PERIOD_DECODE[int(raw["2"])],
+                )
+            except (KeyError, TypeError, ValueError):
+                raise BadRequestError("malformed frequency cap") from None
+
+        objective = body.get(_F_OBJECTIVE)
+        spec = TargetingSpec(
+            country=country,
+            genders=genders,
+            age_ranges=ages,
+            clauses=tuple(Clause(group) for group in clauses),
+        )
+        return spec, cap, objective
+
+    def encode_response(self, estimate: int) -> dict[str, Any]:
+        """Obfuscated response wrapper around the impressions estimate."""
+        return {_F_ESTIMATE_WRAPPER: {_F_ESTIMATE_VALUE: int(estimate)}}
+
+    def decode_response(self, body: Mapping[str, Any]) -> int:
+        """Extract the estimate from an obfuscated response."""
+        try:
+            return int(body[_F_ESTIMATE_WRAPPER][_F_ESTIMATE_VALUE])
+        except (KeyError, TypeError, ValueError):
+            raise BadRequestError("malformed Google response") from None

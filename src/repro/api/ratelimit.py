@@ -1,0 +1,66 @@
+"""Token-bucket rate limiting on the virtual clock.
+
+The studied platforms throttle advertiser API traffic; the paper notes
+it minimised load by limiting both the count and the rate of its
+queries.  The simulation enforces a token bucket per advertiser account
+so the audit clients must implement the same polite back-off a real
+measurement study needs.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+__all__ = ["TokenBucket"]
+
+
+class _Clock(Protocol):
+    def now(self) -> float: ...  # pragma: no cover - structural typing
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, capacity ``burst``.
+
+    :meth:`try_acquire` never blocks; it returns 0.0 on success or the
+    number of seconds until a token will be available.
+    """
+
+    def __init__(self, rate: float, burst: int, clock: _Clock):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock.now()
+
+    def _refill(self) -> None:
+        now = self._clock.now()
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._last = now
+
+    @property
+    def available(self) -> float:
+        """Tokens currently available (after refill)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available.
+
+        Returns 0.0 on success, otherwise the seconds to wait before
+        retrying (the caller advances the virtual clock by that much).
+        """
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        if tokens > self.burst:
+            raise ValueError("cannot acquire more than the bucket capacity")
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate

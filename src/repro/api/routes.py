@@ -1,0 +1,144 @@
+"""Server-side API route handlers for the simulated platforms.
+
+:func:`mount_suite_routes` wires a :class:`~repro.api.transport.FakeTransport`
+to a :class:`~repro.platforms.PlatformSuite`, exposing per-platform
+endpoints shaped like the real ones the paper automated:
+
+========================================  =======================================
+Endpoint                                  Behaviour
+========================================  =======================================
+``POST /facebook/delivery_estimate``      Facebook normal-interface estimate
+``POST /facebook/special/delivery_estimate``  Restricted-interface estimate
+``GET  /facebook/targeting_options``      Normal-interface default catalog
+``GET  /facebook/special/targeting_options``  Restricted catalog
+``GET  /facebook/targeting_search``       Free-form attribute search (body: q)
+``POST /google/reach_estimate``           Display impressions estimate
+                                          (obfuscated JSON in and out)
+``GET  /google/criteria``                 Audience/topic criteria catalog
+``POST /linkedin/audience_count``         Member-count estimate
+``GET  /linkedin/facets``                 Detailed-targeting facet catalog
+========================================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.api.obfuscation import GoogleWireCodec
+from repro.api.transport import FakeTransport, HttpRequest
+from repro.api.wire import FacebookWireCodec, LinkedInWireCodec
+from repro.platforms import PlatformSuite
+from repro.platforms.base import AdPlatformInterface
+from repro.platforms.catalog import CatalogEntry
+from repro.platforms.errors import BadRequestError
+
+__all__ = ["mount_suite_routes"]
+
+
+def _entry_json(entry: CatalogEntry) -> dict[str, Any]:
+    demographic = None
+    if entry.demographic_value is not None:
+        demographic = {
+            "attribute": type(entry.demographic_value).__name__.lower(),
+            "value": entry.demographic_value.label,
+        }
+    return {
+        "id": entry.option_id,
+        "feature": entry.feature,
+        "category": entry.category,
+        "name": entry.name,
+        "demographic": demographic,
+        "free_form": entry.free_form,
+    }
+
+
+def _catalog_handler(interface: AdPlatformInterface):
+    def handler(request: HttpRequest) -> Mapping[str, Any]:
+        return {"options": [_entry_json(e) for e in interface.catalog]}
+
+    return handler
+
+
+def _facebook_estimate_handler(interface):
+    def handler(request: HttpRequest) -> Mapping[str, Any]:
+        if request.body is None:
+            raise BadRequestError("missing request body")
+        spec, objective = FacebookWireCodec.decode_request(request.body)
+        estimate = interface.estimate_reach(spec, objective)
+        return FacebookWireCodec.encode_response(estimate.estimate)
+
+    return handler
+
+
+def _facebook_search_handler(interface):
+    def handler(request: HttpRequest) -> Mapping[str, Any]:
+        if not request.body or "q" not in request.body:
+            raise BadRequestError("missing search query 'q'")
+        matches = interface.search(str(request.body["q"]))
+        return {"options": [_entry_json(e) for e in matches]}
+
+    return handler
+
+
+def _google_estimate_handler(interface, codec: GoogleWireCodec):
+    def handler(request: HttpRequest) -> Mapping[str, Any]:
+        if request.body is None:
+            raise BadRequestError("missing request body")
+        spec, cap, objective = codec.decode_request(request.body)
+        estimate = interface.estimate_reach(
+            spec, objective=objective, frequency_cap=cap
+        )
+        return codec.encode_response(estimate.estimate)
+
+    return handler
+
+
+def _linkedin_count_handler(interface):
+    def handler(request: HttpRequest) -> Mapping[str, Any]:
+        if request.body is None:
+            raise BadRequestError("missing request body")
+        spec = LinkedInWireCodec.decode_request(request.body)
+        estimate = interface.estimate_reach(spec)
+        return LinkedInWireCodec.encode_response(estimate.estimate)
+
+    return handler
+
+
+def mount_suite_routes(transport: FakeTransport, suite: PlatformSuite) -> None:
+    """Register every platform endpoint on the transport."""
+    fb = suite.facebook
+    transport.register(
+        "POST", "/facebook/delivery_estimate",
+        _facebook_estimate_handler(fb.normal),
+    )
+    transport.register(
+        "POST", "/facebook/special/delivery_estimate",
+        _facebook_estimate_handler(fb.restricted),
+    )
+    transport.register(
+        "GET", "/facebook/targeting_options", _catalog_handler(fb.normal)
+    )
+    transport.register(
+        "GET", "/facebook/special/targeting_options",
+        _catalog_handler(fb.restricted),
+    )
+    transport.register(
+        "GET", "/facebook/targeting_search", _facebook_search_handler(fb.normal)
+    )
+
+    google_codec = GoogleWireCodec(suite.google.display.catalog.ids())
+    transport.register(
+        "POST", "/google/reach_estimate",
+        _google_estimate_handler(suite.google.display, google_codec),
+    )
+    transport.register(
+        "GET", "/google/criteria", _catalog_handler(suite.google.display)
+    )
+
+    transport.register(
+        "POST", "/linkedin/audience_count",
+        _linkedin_count_handler(suite.linkedin.interface),
+    )
+    transport.register(
+        "GET", "/linkedin/facets", _catalog_handler(suite.linkedin.interface)
+    )

@@ -1,0 +1,189 @@
+"""Plain-JSON wire formats for Facebook and LinkedIn.
+
+Unlike Google's obfuscated payloads, "the API calls made by Facebook
+and LinkedIn are unobfuscated" (Section 3); their wire formats below
+mirror the real endpoints' shapes: Facebook's delivery-estimate payload
+with ``flexible_spec`` and-of-ors, and LinkedIn's facet-URN targeting
+criteria.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.platforms.errors import BadRequestError
+from repro.platforms.targeting import Clause, TargetingSpec
+from repro.population.demographics import AGE_RANGES, Gender
+
+__all__ = ["FacebookWireCodec", "LinkedInWireCodec"]
+
+_FB_GENDER_CODES = {Gender.MALE: 1, Gender.FEMALE: 2}
+_FB_GENDER_DECODE = {v: k for k, v in _FB_GENDER_CODES.items()}
+
+_AGE_TO_BOUNDS = {a: list(a.bounds) for a in AGE_RANGES}
+_BOUNDS_TO_AGE = {tuple(v): k for k, v in _AGE_TO_BOUNDS.items()}
+
+_LI_FACET_PREFIX = "urn:li:adTargetingFacet:"
+
+
+class FacebookWireCodec:
+    """Facebook delivery-estimate request/response codec."""
+
+    @staticmethod
+    def encode_request(
+        spec: TargetingSpec, objective: str | None = None
+    ) -> dict[str, Any]:
+        body: dict[str, Any] = {
+            "targeting_spec": {
+                "geo_locations": {"countries": [spec.country]},
+            }
+        }
+        targeting = body["targeting_spec"]
+        if spec.genders is not None:
+            targeting["genders"] = sorted(
+                _FB_GENDER_CODES[g] for g in spec.genders
+            )
+        if spec.age_ranges is not None:
+            targeting["age_ranges"] = sorted(
+                _AGE_TO_BOUNDS[a] for a in spec.age_ranges
+            )
+        if spec.clauses:
+            targeting["flexible_spec"] = [
+                {"interests": sorted(clause.options)} for clause in spec.clauses
+            ]
+        if spec.exclusions:
+            targeting["exclusions"] = {"interests": sorted(spec.exclusions)}
+        if objective is not None:
+            body["optimization_goal"] = objective
+        return body
+
+    @staticmethod
+    def decode_request(
+        body: Mapping[str, Any],
+    ) -> tuple[TargetingSpec, str | None]:
+        try:
+            targeting = body["targeting_spec"]
+            countries = targeting["geo_locations"]["countries"]
+        except (KeyError, TypeError):
+            raise BadRequestError("missing targeting_spec.geo_locations") from None
+        if len(countries) != 1:
+            raise BadRequestError("exactly one country required")
+
+        genders = None
+        if "genders" in targeting:
+            try:
+                genders = frozenset(
+                    _FB_GENDER_DECODE[int(c)] for c in targeting["genders"]
+                )
+            except (KeyError, TypeError, ValueError):
+                raise BadRequestError("unknown gender code") from None
+        ages = None
+        if "age_ranges" in targeting:
+            try:
+                ages = frozenset(
+                    _BOUNDS_TO_AGE[tuple(bounds)]
+                    for bounds in targeting["age_ranges"]
+                )
+            except (KeyError, TypeError):
+                raise BadRequestError("unknown age range bounds") from None
+
+        clauses = []
+        for flex in targeting.get("flexible_spec", []):
+            try:
+                clauses.append(Clause(flex["interests"]))
+            except (KeyError, TypeError, ValueError):
+                raise BadRequestError("malformed flexible_spec entry") from None
+        exclusions = frozenset(
+            targeting.get("exclusions", {}).get("interests", [])
+        )
+        spec = TargetingSpec(
+            country=countries[0],
+            genders=genders,
+            age_ranges=ages,
+            clauses=tuple(clauses),
+            exclusions=exclusions,
+        )
+        return spec, body.get("optimization_goal")
+
+    @staticmethod
+    def encode_response(estimate: int) -> dict[str, Any]:
+        return {"data": [{"estimate_mau": int(estimate), "estimate_ready": True}]}
+
+    @staticmethod
+    def decode_response(body: Mapping[str, Any]) -> int:
+        try:
+            return int(body["data"][0]["estimate_mau"])
+        except (KeyError, IndexError, TypeError, ValueError):
+            raise BadRequestError("malformed Facebook response") from None
+
+
+class LinkedInWireCodec:
+    """LinkedIn audience-count request/response codec."""
+
+    @staticmethod
+    def _facet(option_id: str) -> str:
+        return f"{_LI_FACET_PREFIX}{option_id}"
+
+    @staticmethod
+    def _unfacet(urn: str) -> str:
+        if not urn.startswith(_LI_FACET_PREFIX):
+            raise BadRequestError(f"not a targeting facet urn: {urn!r}")
+        return urn[len(_LI_FACET_PREFIX):]
+
+    @classmethod
+    def encode_request(cls, spec: TargetingSpec) -> dict[str, Any]:
+        include = {
+            "and": [
+                {"or": sorted(cls._facet(o) for o in clause.options)}
+                for clause in spec.clauses
+            ]
+        }
+        body: dict[str, Any] = {
+            "locations": [spec.country],
+            "include": include,
+        }
+        if spec.exclusions:
+            body["exclude"] = {
+                "or": sorted(cls._facet(o) for o in spec.exclusions)
+            }
+        # LinkedIn has no gender/age targeting fields; demographic
+        # constraints must already be expressed as facet clauses.
+        if spec.genders is not None or spec.age_ranges is not None:
+            raise BadRequestError(
+                "LinkedIn requests express demographics as detailed "
+                "targeting facets, not separate fields"
+            )
+        return body
+
+    @classmethod
+    def decode_request(cls, body: Mapping[str, Any]) -> TargetingSpec:
+        try:
+            locations = body["locations"]
+            and_terms = body["include"]["and"]
+        except (KeyError, TypeError):
+            raise BadRequestError("missing locations or include.and") from None
+        if len(locations) != 1:
+            raise BadRequestError("exactly one location required")
+        clauses = []
+        for term in and_terms:
+            try:
+                clauses.append(Clause(cls._unfacet(u) for u in term["or"]))
+            except (KeyError, TypeError, ValueError):
+                raise BadRequestError("malformed include.and term") from None
+        exclusions = frozenset(
+            cls._unfacet(u) for u in body.get("exclude", {}).get("or", [])
+        )
+        return TargetingSpec(
+            country=locations[0], clauses=tuple(clauses), exclusions=exclusions
+        )
+
+    @staticmethod
+    def encode_response(estimate: int) -> dict[str, Any]:
+        return {"elements": [{"total": int(estimate)}]}
+
+    @staticmethod
+    def decode_response(body: Mapping[str, Any]) -> int:
+        try:
+            return int(body["elements"][0]["total"])
+        except (KeyError, IndexError, TypeError, ValueError):
+            raise BadRequestError("malformed LinkedIn response") from None

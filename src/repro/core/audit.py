@@ -1,0 +1,320 @@
+"""The audit measurement engine.
+
+:class:`AuditTarget` gives the analysis layers a uniform surface over
+one studied interface while encoding the per-platform measurement
+tricks from Section 3 of the paper:
+
+* **Facebook restricted**: the interface forbids age/gender targeting,
+  so targetings are *validated* against the restricted interface but
+  the demographic slicing is *measured* through the normal interface
+  (both share the same user base);
+* **Google**: demographic slicing uses Google's gender/age targeting
+  fields; compositions are possible only across features
+  (audiences x topics), and boolean and-of-or rules have no size
+  statistics, so the overlap analysis is unsupported;
+* **LinkedIn**: there are no demographic targeting fields; the audit
+  ANDs the corresponding detailed-targeting facet into the rule.
+
+All size queries go through the API clients (never the simulator's
+internals) and are cached per targeting spec, mirroring the paper's
+care to limit query load.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.api.client import (
+    CatalogOption,
+    GoogleReachClient,
+    LinkedInReachClient,
+    ReachClient,
+)
+from repro.core.results import SensitiveValue, TargetingAudit
+from repro.platforms.errors import UnsupportedCompositionError
+from repro.platforms.targeting import TargetingSpec, spec_intersection
+from repro.population.demographics import (
+    AgeRange,
+    Gender,
+    SensitiveAttribute,
+)
+
+__all__ = ["AuditTarget", "build_audit_targets"]
+
+
+class AuditTarget:
+    """One studied interface, ready to be audited.
+
+    Parameters
+    ----------
+    key / name:
+        Registry key and display name (``"facebook_restricted"`` /
+        ``"Facebook (restricted)"``).
+    client:
+        The interface's own API client; used for catalog access and for
+        validating that a targeting is accepted by *this* interface.
+    measure_client:
+        Client used for demographically sliced size queries.  Defaults
+        to ``client``; Facebook's restricted target passes the normal
+        interface's client here, as the paper does.
+    """
+
+    def __init__(
+        self,
+        key: str,
+        name: str,
+        client: ReachClient,
+        measure_client: ReachClient | None = None,
+    ):
+        self.key = key
+        self.name = name
+        self.client = client
+        self.measure_client = measure_client or client
+        self._cache: dict[tuple[str, TargetingSpec], int] = {}
+        self._features: dict[str, str] | None = None
+        # Keyed by (enum type, value): Gender and AgeRange are IntEnums
+        # with overlapping raw values, so they cannot share a plain dict.
+        self._li_demo_ids: dict[tuple[type, int], str] | None = None
+
+    # -- catalog ------------------------------------------------------------
+
+    def study_options(self) -> list[CatalogOption]:
+        """The default option list the paper studies on this interface."""
+        return [
+            o
+            for o in self.client.catalog()
+            if o.demographic is None and not o.free_form
+        ]
+
+    def study_option_ids(self) -> list[str]:
+        """Ids of the study options."""
+        return [o.option_id for o in self.study_options()]
+
+    def option_names(self) -> dict[str, str]:
+        """Display names keyed by option id."""
+        return self.client.option_names()
+
+    def _feature_of(self, option_id: str) -> str:
+        if self._features is None:
+            self._features = {o.option_id: o.feature for o in self.client.catalog()}
+        return self._features[option_id]
+
+    def features(self) -> list[str]:
+        """Distinct composable features among the study options."""
+        return sorted({self._feature_of(o) for o in self.study_option_ids()})
+
+    # -- composition rules ---------------------------------------------------
+
+    @property
+    def cross_feature_only(self) -> bool:
+        """Whether AND-composition requires distinct features (Google)."""
+        return isinstance(self.client, GoogleReachClient)
+
+    def can_compose(self, options: Sequence[str]) -> bool:
+        """Whether this interface can AND-compose the given options."""
+        if len(set(options)) != len(options):
+            return False
+        if self.cross_feature_only:
+            features = [self._feature_of(o) for o in options]
+            return len(set(features)) == len(features)
+        return True
+
+    def composition_spec(self, options: Sequence[str]) -> TargetingSpec:
+        """AND-composition targeting spec over the given options."""
+        if not self.can_compose(options):
+            raise UnsupportedCompositionError(
+                f"{self.name} cannot AND-compose {list(options)}"
+            )
+        return TargetingSpec.of(*options)
+
+    # -- demographic slicing ---------------------------------------------
+
+    @property
+    def _demographics_via_facets(self) -> bool:
+        return isinstance(self.measure_client, LinkedInReachClient)
+
+    def _linkedin_demo_id(self, value: SensitiveValue) -> str:
+        if self._li_demo_ids is None:
+            self._li_demo_ids = {}
+        key = (type(value), int(value))
+        if key not in self._li_demo_ids:
+            assert isinstance(self.measure_client, LinkedInReachClient)
+            self._li_demo_ids[key] = self.measure_client.demographic_option_id(
+                value.label
+            )
+        return self._li_demo_ids[key]
+
+    @staticmethod
+    def _complement_values(value: SensitiveValue) -> list[SensitiveValue]:
+        if isinstance(value, Gender):
+            return [value.other]
+        if isinstance(value, AgeRange):
+            return [a for a in AgeRange if a is not value]
+        raise TypeError(f"not a sensitive value: {value!r}")
+
+    def demographic_spec(
+        self,
+        spec: TargetingSpec,
+        value: SensitiveValue | None,
+        exclude: bool = False,
+    ) -> TargetingSpec:
+        """Restrict a spec to one sensitive value (or its complement),
+        however this platform expresses that.
+
+        ``exclude=True`` selects ``RA_{not value}`` -- used for the
+        recall of exclusion-style skews such as "age not 18-24".
+        """
+        if value is None:
+            return spec
+        values = self._complement_values(value) if exclude else [value]
+        if self._demographics_via_facets:
+            return spec.and_clause(
+                [self._linkedin_demo_id(v) for v in values]
+            )
+        if isinstance(value, Gender):
+            return spec.with_gender(values[0]) if len(values) == 1 else spec
+        if isinstance(value, AgeRange):
+            return spec.with_ages(values)
+        raise TypeError(f"not a sensitive value: {value!r}")
+
+    # -- measurement -----------------------------------------------------------
+
+    def _measure(self, client: ReachClient, spec: TargetingSpec) -> int:
+        key = (client.interface_key, spec)
+        if key not in self._cache:
+            self._cache[key] = client.estimate(spec)
+        return self._cache[key]
+
+    def measure(
+        self,
+        spec: TargetingSpec,
+        value: SensitiveValue | None = None,
+        exclude: bool = False,
+    ) -> int:
+        """Cached size estimate of ``spec`` restricted to ``value``."""
+        return self._measure(
+            self.measure_client, self.demographic_spec(spec, value, exclude)
+        )
+
+    def base_sizes(
+        self, attribute: SensitiveAttribute
+    ) -> dict[SensitiveValue, int]:
+        """``|RA_v|`` for every value of the sensitive attribute."""
+        everyone = TargetingSpec.everyone()
+        return {v: self.measure(everyone, v) for v in attribute.values}
+
+    def audit(
+        self, options: Sequence[str], attribute: SensitiveAttribute
+    ) -> TargetingAudit:
+        """Audit one targeting (individual or composition).
+
+        Validates the targeting on this interface (one un-sliced size
+        query through ``client``), then measures the per-value sizes
+        through ``measure_client``.
+        """
+        spec = self.composition_spec(options)
+        if self.measure_client is not self.client:
+            # Facebook-restricted path: confirm the restricted interface
+            # accepts this exact targeting before measuring elsewhere.
+            self._measure(self.client, spec)
+        sizes = {v: self.measure(spec, v) for v in attribute.values}
+        return TargetingAudit(
+            options=tuple(options),
+            attribute=attribute,
+            sizes=sizes,
+            bases=self.base_sizes(attribute),
+        )
+
+    def audit_many(
+        self,
+        compositions: Iterable[Sequence[str]],
+        attribute: SensitiveAttribute,
+        skip_uncomposable: bool = True,
+    ) -> list[TargetingAudit]:
+        """Audit a batch, optionally skipping inexpressible compositions."""
+        audits = []
+        for options in compositions:
+            if skip_uncomposable and not self.can_compose(options):
+                continue
+            audits.append(self.audit(options, attribute))
+        return audits
+
+    # -- boolean combinations (overlap / union analyses) ----------------------
+
+    @property
+    def supports_boolean_rules(self) -> bool:
+        """Whether and-of-or rules have size statistics here.
+
+        True for Facebook (both interfaces) and LinkedIn; False for
+        Google, which is why the paper's Table 1 omits Google.
+        """
+        return not isinstance(self.measure_client, GoogleReachClient)
+
+    def intersection_size(
+        self,
+        compositions: Sequence[Sequence[str]],
+        value: SensitiveValue | None = None,
+        exclude: bool = False,
+    ) -> int:
+        """Size of the intersection of several AND-compositions.
+
+        Expressed as a single and-of-ors rule (each composition
+        contributes its clauses) -- the trick from footnote 11.
+        """
+        if not self.supports_boolean_rules:
+            raise UnsupportedCompositionError(
+                f"{self.name} shows no size statistics for boolean "
+                "combinations of user attributes"
+            )
+        specs = [self.composition_spec(options) for options in compositions]
+        return self.measure(spec_intersection(*specs), value, exclude)
+
+    # -- accounting --------------------------------------------------------------
+
+    @property
+    def query_count(self) -> int:
+        """API requests issued on behalf of this target."""
+        count = self.client.request_count
+        if self.measure_client is not self.client:
+            count += self.measure_client.request_count
+        return count
+
+    @property
+    def cache_size(self) -> int:
+        """Distinct size queries cached so far."""
+        return len(self._cache)
+
+    def cached_estimates(self) -> list[int]:
+        """Every distinct estimate observed so far (granularity study)."""
+        return list(self._cache.values())
+
+    def __repr__(self) -> str:
+        return f"<AuditTarget {self.key} cached={self.cache_size}>"
+
+
+def build_audit_targets(
+    clients: Mapping[str, ReachClient],
+) -> dict[str, AuditTarget]:
+    """Audit targets for the four studied interfaces.
+
+    ``clients`` is the mapping produced by
+    :func:`repro.api.client.build_clients`.  The Facebook restricted
+    target measures demographics through the normal-interface client.
+    """
+    return {
+        "facebook_restricted": AuditTarget(
+            key="facebook_restricted",
+            name="Facebook (restricted)",
+            client=clients["facebook_restricted"],
+            measure_client=clients["facebook"],
+        ),
+        "facebook": AuditTarget(
+            key="facebook", name="Facebook", client=clients["facebook"]
+        ),
+        "google": AuditTarget(
+            key="google", name="Google", client=clients["google"]
+        ),
+        "linkedin": AuditTarget(
+            key="linkedin", name="LinkedIn", client=clients["linkedin"]
+        ),
+    }

@@ -1,0 +1,107 @@
+"""Query budgeting for polite measurement (paper Section 3, Ethics).
+
+The paper stresses that it "minimized the load placed on the ad
+platforms by limiting both the count and rate of API queries".  The
+rate side is enforced by the transport's token buckets; this module
+adds the *count* side: a :class:`QueryBudget` wraps an
+:class:`~repro.core.audit.AuditTarget` and hard-stops measurement once
+a per-study query allowance is exhausted, so an audit plan can be
+validated against its cost before running.
+
+Budgets also expose cost *estimation* for the standard experiment
+shapes, letting a study be sized to its allowance up front -- the same
+planning step that led the paper to greedy discovery instead of an
+exhaustive crawl.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.audit import AuditTarget
+from repro.platforms.errors import PlatformError
+from repro.population.demographics import SensitiveAttribute
+
+__all__ = ["BudgetExceededError", "QueryBudget", "estimate_study_queries"]
+
+
+class BudgetExceededError(PlatformError):
+    """Raised when a study would exceed its query allowance."""
+
+    def __init__(self, spent: int, allowance: int):
+        self.spent = spent
+        self.allowance = allowance
+        super().__init__(
+            f"query budget exhausted ({spent}/{allowance} queries used)"
+        )
+
+
+@dataclass
+class QueryBudget:
+    """A hard cap on the API queries one study may issue.
+
+    Wraps an audit target; every *uncached* measurement decrements the
+    allowance (cache hits are free -- deduplication is the first tool
+    for staying inside a budget).
+    """
+
+    target: AuditTarget
+    allowance: int
+
+    def __post_init__(self) -> None:
+        if self.allowance < 0:
+            raise ValueError("allowance must be non-negative")
+        self._start_queries = self.target.query_count
+
+    @property
+    def spent(self) -> int:
+        """Queries issued since the budget was attached."""
+        return self.target.query_count - self._start_queries
+
+    @property
+    def remaining(self) -> int:
+        """Queries left in the allowance (never negative)."""
+        return max(0, self.allowance - self.spent)
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceededError` if the allowance is spent."""
+        if self.spent >= self.allowance:
+            raise BudgetExceededError(self.spent, self.allowance)
+
+    def audit(self, options, attribute: SensitiveAttribute):
+        """Budgeted wrapper around :meth:`AuditTarget.audit`."""
+        self.check()
+        return self.target.audit(options, attribute)
+
+    def measure(self, spec, value=None, exclude=False) -> int:
+        """Budgeted wrapper around :meth:`AuditTarget.measure`."""
+        self.check()
+        return self.target.measure(spec, value, exclude)
+
+
+def estimate_study_queries(
+    n_options: int,
+    attribute: SensitiveAttribute,
+    n_compositions: int = 1000,
+    directions: int = 2,
+    include_random: bool = True,
+) -> int:
+    """Upper-bound query count of one figure-style study.
+
+    Counts: one query per (targeting, sensitive value) for the
+    individual sweep, the random set, and each greedy direction, plus
+    the base-size queries.  The real cost is lower thanks to caching;
+    this is the number to compare against an allowance *before*
+    measuring, as the paper's planning did.
+    """
+    if n_options < 0 or n_compositions < 0 or directions < 0:
+        raise ValueError("counts must be non-negative")
+    per_targeting = len(attribute.values)
+    total = len(attribute.values)  # base sizes
+    total += n_options * per_targeting
+    sets = directions + (1 if include_random else 0)
+    total += sets * n_compositions * per_targeting
+    # Greedy discovery re-reads individual audits (cached, free) but the
+    # candidate pools may exceed n_compositions before sampling; the
+    # audit only measures the sampled n_compositions, so no extra term.
+    return total

@@ -1,0 +1,94 @@
+"""Distribution summaries matching the paper's box plots.
+
+Each box plot in the paper shows the median (thick line), the 25th and
+75th percentiles (box edges), the 10th and 90th percentiles (whiskers),
+and the tails beyond those as outlier points (footnote 10).
+:class:`BoxStats` captures exactly those statistics so experiment
+output can be compared number-for-number with the figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.metrics import FOUR_FIFTHS_HIGH, FOUR_FIFTHS_LOW
+
+__all__ = ["BoxStats", "fraction_outside_four_fifths"]
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Box-plot statistics of one distribution."""
+
+    n: int
+    minimum: float
+    p10: float
+    p25: float
+    median: float
+    p75: float
+    p90: float
+    maximum: float
+    mean: float
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "BoxStats":
+        """Summarise finite values; NaNs and infinities are dropped."""
+        arr = np.asarray(
+            [v for v in values if not (math.isnan(v) or math.isinf(v))],
+            dtype=float,
+        )
+        if arr.size == 0:
+            nan = float("nan")
+            return cls(0, nan, nan, nan, nan, nan, nan, nan, nan)
+        p10, p25, p50, p75, p90 = np.percentile(arr, [10, 25, 50, 75, 90])
+        return cls(
+            n=int(arr.size),
+            minimum=float(arr.min()),
+            p10=float(p10),
+            p25=float(p25),
+            median=float(p50),
+            p75=float(p75),
+            p90=float(p90),
+            maximum=float(arr.max()),
+            mean=float(arr.mean()),
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no finite values were summarised."""
+        return self.n == 0
+
+    def whisker_span(self) -> float:
+        """p90 / p10 span -- the paper quotes these whisker values."""
+        return self.p90 / self.p10 if self.p10 else float("inf")
+
+    def format_row(self, label: str) -> str:
+        """One aligned text row for report tables."""
+        if self.is_empty:
+            return f"{label:<18s}  (empty)"
+        return (
+            f"{label:<18s} n={self.n:<5d} "
+            f"p10={self.p10:<8.3g} p25={self.p25:<8.3g} "
+            f"med={self.median:<8.3g} p75={self.p75:<8.3g} "
+            f"p90={self.p90:<8.3g}"
+        )
+
+
+def fraction_outside_four_fifths(values: Sequence[float]) -> float:
+    """Fraction of ratios violating the four-fifths thresholds.
+
+    Infinite ratios count as violations; NaNs are dropped.  The paper
+    reports that over 90 percent of the most-skewed pairs fall outside
+    the thresholds (Section 4.3).
+    """
+    kept = [v for v in values if not math.isnan(v)]
+    if not kept:
+        return math.nan
+    outside = sum(
+        1 for v in kept if v <= FOUR_FIFTHS_LOW or v >= FOUR_FIFTHS_HIGH
+    )
+    return outside / len(kept)

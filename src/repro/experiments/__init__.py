@@ -1,0 +1,38 @@
+"""Experiment drivers regenerating every figure and table in the paper.
+
+================  ============================================
+Module            Paper artifact
+================  ============================================
+``fig1_restricted``   Figure 1 (FB-restricted distributions)
+``fig2_platforms``    Figure 2 (cross-platform distributions)
+``fig3_removal``      Figure 3 (removal sweep, gender)
+``fig4_ages``         Figure 4 (age-range distributions)
+``fig5_recall``       Figure 5 (recall distributions)
+``fig6_removal_ages`` Figure 6 (removal sweeps, ages)
+``table1_overlap``    Table 1 (overlap / union recall)
+``tables23_examples`` Tables 2-3 (illustrative compositions)
+``methodology``       Section 3 (size-estimate studies)
+================  ============================================
+
+Each module exposes ``run(ctx) -> <Result>`` where ``ctx`` is an
+:class:`~repro.experiments.context.ExperimentContext`; every result has
+a ``render()`` method.  :mod:`repro.experiments.runner` runs them all
+and backs the ``repro-audit`` CLI.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext, TARGET_LABELS
+from repro.experiments.populations import (
+    FIG5_POPULATIONS,
+    TABLE1_POPULATIONS,
+    FavoredPopulation,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentContext",
+    "FIG5_POPULATIONS",
+    "FavoredPopulation",
+    "TABLE1_POPULATIONS",
+    "TARGET_LABELS",
+]

@@ -1,0 +1,45 @@
+"""Shared result shapes for the figure experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core import CompositionSet
+from repro.core.results import SensitiveValue
+from repro.core.stats import BoxStats
+from repro.reporting import render_box_panel
+
+__all__ = ["Panel", "panel_from_sets"]
+
+
+@dataclass
+class Panel:
+    """One figure panel: a titled list of labelled box distributions."""
+
+    title: str
+    rows: list[tuple[str, BoxStats]] = field(default_factory=list)
+
+    def render(self) -> str:
+        """ASCII box-plot rendering of the panel."""
+        return render_box_panel(self.title, self.rows)
+
+    def row(self, label: str) -> BoxStats:
+        """Find a row's stats by label (KeyError if absent)."""
+        for row_label, box in self.rows:
+            if row_label == label:
+                return box
+        raise KeyError(label)
+
+
+def panel_from_sets(
+    title: str, sets: Sequence[CompositionSet], value: SensitiveValue
+) -> Panel:
+    """Panel of representation-ratio distributions toward ``value``."""
+    return Panel(
+        title=title,
+        rows=[
+            (s.label, BoxStats.from_values(s.ratios(value)))
+            for s in sets
+        ],
+    )

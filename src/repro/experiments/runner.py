@@ -1,0 +1,168 @@
+"""Run-everything experiment runner and CLI (``repro-audit``).
+
+Runs each experiment against one shared :class:`ExperimentContext`
+(so size queries are reused across figures, as in the paper), collects
+the rendered reports, and optionally writes them to a file.
+
+CLI usage::
+
+    repro-audit --scale small
+    repro-audit --scale full --out results.txt
+    repro-audit --only fig1 table1 --records 60000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.experiments import (
+    ext_lookalike,
+    ext_mitigation,
+    fig1_restricted,
+    fig2_platforms,
+    fig3_removal,
+    fig4_ages,
+    fig5_recall,
+    fig6_removal_ages,
+    methodology,
+    table1_overlap,
+    tables23_examples,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+
+__all__ = ["EXPERIMENTS", "RunReport", "run_all", "main"]
+
+#: Experiment registry: name -> (paper artifact, runner callable).
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "fig1": ("Figure 1 (FB-restricted distributions)", fig1_restricted.run),
+    "fig2": ("Figure 2 (cross-platform distributions)", fig2_platforms.run),
+    "fig3": ("Figure 3 (removal sweep, gender)", fig3_removal.run),
+    "fig4": ("Figure 4 (age-range distributions)", fig4_ages.run),
+    "fig5": ("Figure 5 (recall distributions)", fig5_recall.run),
+    "fig6": ("Figure 6 (removal sweeps, ages)", fig6_removal_ages.run),
+    "table1": ("Table 1 (overlap / union recall)", table1_overlap.run),
+    "tables23": ("Tables 2-3 (illustrative compositions)", tables23_examples.run),
+    "methodology": ("Section 3 (size-estimate studies)", methodology.run),
+    "ext_lookalike": (
+        "Extension (lookalike vs special ad audience)",
+        ext_lookalike.run,
+    ),
+    "ext_mitigation": (
+        "Extension (outcome-based vs removal mitigation)",
+        ext_mitigation.run,
+    ),
+}
+
+
+@dataclass
+class RunReport:
+    """Results and timings of one full experiment run."""
+
+    config: ExperimentConfig
+    results: dict[str, object] = field(default_factory=dict)
+    durations: dict[str, float] = field(default_factory=dict)
+    total_api_requests: int = 0
+
+    def render(self) -> str:
+        parts = [
+            "Reproduction run — 'On the Potential for Discrimination via "
+            "Composition' (IMC 2020)",
+            f"records/platform={self.config.n_records:,} "
+            f"compositions/set={self.config.n_compositions} "
+            f"seed={self.config.seed}",
+            "",
+        ]
+        for name, result in self.results.items():
+            title, _ = EXPERIMENTS[name]
+            header = f"== {name}: {title} ({self.durations[name]:.1f}s) =="
+            parts += [header, result.render(), ""]
+        parts.append(
+            f"Total simulated API requests: {self.total_api_requests:,} "
+            "(paper: 80,000+ per platform)"
+        )
+        return "\n".join(parts)
+
+
+def run_all(
+    config: ExperimentConfig | None = None,
+    only: list[str] | None = None,
+    context: ExperimentContext | None = None,
+    verbose: bool = False,
+) -> RunReport:
+    """Run the selected experiments over one shared context."""
+    config = config or ExperimentConfig.full()
+    ctx = context or ExperimentContext(config)
+    names = list(only or EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+
+    report = RunReport(config=ctx.config)
+    for name in names:
+        title, runner = EXPERIMENTS[name]
+        if verbose:
+            print(f"running {name}: {title} ...", file=sys.stderr, flush=True)
+        started = time.perf_counter()
+        report.results[name] = runner(ctx)
+        report.durations[name] = time.perf_counter() - started
+    report.total_api_requests = ctx.session.total_api_requests()
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro-audit`` console entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-audit",
+        description=(
+            "Regenerate the figures and tables of 'On the Potential for "
+            "Discrimination via Composition' against the simulated platforms."
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("full", "small", "tiny"),
+        default="small",
+        help="experiment scale preset (default: small)",
+    )
+    parser.add_argument(
+        "--records", type=int, default=None, help="override records/platform"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the root seed"
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        choices=sorted(EXPERIMENTS),
+        default=None,
+        help="run only these experiments",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, help="also write the report here"
+    )
+    args = parser.parse_args(argv)
+
+    config = getattr(ExperimentConfig, args.scale)()
+    if args.records is not None:
+        config = config.with_records(args.records)
+    if args.seed is not None:
+        from dataclasses import replace
+
+        config = replace(config, seed=args.seed)
+
+    report = run_all(config=config, only=args.only, verbose=True)
+    text = report.render()
+    print(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,264 @@
+"""Common machinery for simulated advertising platform interfaces.
+
+An *interface* is what an advertiser (and hence the audit) talks to: a
+catalog of targeting options, a validator enforcing what that interface
+allows, and a reach estimator returning **rounded** audience-size
+estimates.  The same platform can expose several interfaces over one
+population -- Facebook's normal and restricted interfaces share users
+and attributes but allow different targetings.
+
+Exact audience sizes never leave this module un-rounded: the audit sees
+only what a real advertiser would see.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.platforms.catalog import Catalog, CatalogEntry
+from repro.platforms.errors import (
+    CampaignConfigError,
+    DisallowedTargetingError,
+    ExclusionNotAllowedError,
+    TargetingError,
+    UnknownOptionError,
+)
+from repro.platforms.rounding import RoundingPolicy
+from repro.platforms.targeting import TargetingSpec
+from repro.population.bitsets import BitVector
+from repro.population.generator import Population
+
+__all__ = ["InterfaceCapabilities", "ReachEstimate", "AdPlatformInterface"]
+
+
+@dataclass(frozen=True)
+class InterfaceCapabilities:
+    """What a targeting interface allows, as flags the audit consults.
+
+    Attributes
+    ----------
+    gender_targeting / age_targeting:
+        Whether the interface has explicit gender / age targeting
+        fields (Facebook's restricted interface has neither; LinkedIn
+        expresses demographics only as detailed attributes).
+    exclusions:
+        Whether holders of an attribute can be excluded.
+    and_of_ors:
+        Whether arbitrary and-of-or rules over options are expressible
+        (needed for the overlap analysis; Google's display interface
+        does not support it across user attributes).
+    cross_feature_and_only:
+        True when options may be AND-composed only across different
+        features (Google: audiences x topics).
+    estimate_unit:
+        ``"users"`` (Facebook, LinkedIn) or ``"impressions"`` (Google).
+    """
+
+    gender_targeting: bool
+    age_targeting: bool
+    exclusions: bool
+    and_of_ors: bool
+    cross_feature_and_only: bool
+    estimate_unit: str
+
+
+@dataclass(frozen=True)
+class ReachEstimate:
+    """A rounded audience-size estimate as shown by a targeting UI."""
+
+    estimate: int
+    unit: str
+    spec: TargetingSpec
+    objective: str
+
+    def __int__(self) -> int:
+        return self.estimate
+
+
+class AdPlatformInterface(ABC):
+    """Base class for the four studied targeting interfaces.
+
+    Subclasses provide the catalog, capabilities, objectives, and any
+    interface-specific validation; this base resolves validated specs
+    against the population bitset index, applies the platform's
+    rounding policy, and counts queries (the paper reports making over
+    80,000 size queries per platform).
+    """
+
+    #: Human-readable interface name, e.g. ``"Facebook (restricted)"``.
+    name: str = ""
+    #: Registry key, e.g. ``"facebook_restricted"``.
+    key: str = ""
+
+    def __init__(
+        self,
+        population: Population,
+        catalog: Catalog,
+        rounding: RoundingPolicy,
+        capabilities: InterfaceCapabilities,
+        objectives: Sequence[str],
+        default_objective: str,
+    ):
+        if default_objective not in objectives:
+            raise ValueError("default objective must be among objectives")
+        self.population = population
+        self.catalog = catalog
+        self.rounding = rounding
+        self.capabilities = capabilities
+        self.objectives = tuple(objectives)
+        self.default_objective = default_objective
+        self.query_count = 0
+        # Custom/pixel/lookalike audiences targetable on this interface,
+        # registered by an AudienceService.
+        self._audience_vectors: dict[str, BitVector] = {}
+
+    # -- catalog access ----------------------------------------------------
+
+    def option_entry(self, option_id: str) -> CatalogEntry:
+        """Catalog entry for an option (UnknownOptionError if absent)."""
+        try:
+            return self.catalog.get(option_id)
+        except KeyError:
+            raise UnknownOptionError(option_id, self.name) from None
+
+    def option_names(self) -> dict[str, str]:
+        """Display names for every catalog option."""
+        return self.catalog.names()
+
+    def study_option_ids(self) -> list[str]:
+        """The default browsable option list the paper studies."""
+        return self.catalog.study_ids()
+
+    def search(self, query: str) -> list[CatalogEntry]:
+        """Search targeting options (default: catalog substring search)."""
+        return self.catalog.search(query)
+
+    # -- audiences -----------------------------------------------------------
+
+    def register_audience(self, audience_id: str, members: BitVector) -> None:
+        """Make a custom/derived audience targetable on this interface."""
+        if not audience_id.startswith("audience:"):
+            raise ValueError("audience ids must start with 'audience:'")
+        if members.n_records != self.population.n_records:
+            raise ValueError("audience spans a different population")
+        self._audience_vectors[audience_id] = members
+
+    def has_audience(self, audience_id: str) -> bool:
+        """Whether an audience id is targetable here."""
+        return audience_id in self._audience_vectors
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self, spec: TargetingSpec) -> None:
+        """Raise a :class:`TargetingError` subclass if ``spec`` is invalid."""
+        if spec.country != "US":
+            raise TargetingError(
+                f"{self.name} simulation only models the US audience, "
+                f"got country={spec.country!r}"
+            )
+        if spec.genders is not None and not self.capabilities.gender_targeting:
+            raise DisallowedTargetingError(
+                f"{self.name} does not allow gender targeting"
+            )
+        if spec.age_ranges is not None and not self.capabilities.age_targeting:
+            raise DisallowedTargetingError(
+                f"{self.name} does not allow age targeting"
+            )
+        if spec.exclusions and not self.capabilities.exclusions:
+            raise ExclusionNotAllowedError(
+                f"{self.name} does not allow excluding attribute holders"
+            )
+        for option_id in spec.option_ids:
+            if option_id in self._audience_vectors:
+                continue
+            self.option_entry(option_id)
+        self._validate_extra(spec)
+
+    def _validate_extra(self, spec: TargetingSpec) -> None:
+        """Interface-specific validation hook (composition rules etc.)."""
+
+    # -- audience resolution ---------------------------------------------
+
+    def _option_vector(self, option_id: str) -> BitVector:
+        """Membership vector for one option id."""
+        if option_id in self._audience_vectors:
+            return self._audience_vectors[option_id]
+        entry = self.option_entry(option_id)
+        if entry.demographic_value is not None:
+            return self.population.index.demographic(entry.demographic_value)
+        return self.population.index.attribute(option_id)
+
+    def audience_vector(self, spec: TargetingSpec) -> BitVector:
+        """Resolve a *validated* spec to its audience bit vector."""
+        index = self.population.index
+        audience = index.everyone
+        if spec.genders is not None:
+            gender_union = None
+            for gender in spec.genders:
+                vec = index.gender(gender)
+                gender_union = vec if gender_union is None else gender_union | vec
+            audience = audience & gender_union
+        if spec.age_ranges is not None:
+            age_union = None
+            for age in spec.age_ranges:
+                vec = index.age(age)
+                age_union = vec if age_union is None else age_union | vec
+            audience = audience & age_union
+        for clause in spec.clauses:
+            clause_union = None
+            for option_id in clause:
+                vec = self._option_vector(option_id)
+                clause_union = vec if clause_union is None else clause_union | vec
+            audience = audience & clause_union
+        for option_id in sorted(spec.exclusions):
+            audience = audience.difference(self._option_vector(option_id))
+        return audience
+
+    def exact_users(self, spec: TargetingSpec) -> float:
+        """Exact (scaled) user count -- internal; the audit never sees it."""
+        self.validate(spec)
+        return self.population.users(self.audience_vector(spec))
+
+    # -- the advertiser-visible estimate ------------------------------------
+
+    def _estimate_value(self, exact_users: float, objective: str) -> float:
+        """Convert exact users into the quantity the UI estimates.
+
+        Default: the estimate counts users ("the size of the audience
+        that's eligible to see your ad").  Google overrides this to
+        report impressions.
+        """
+        return exact_users
+
+    def estimate_reach(
+        self, spec: TargetingSpec, objective: str | None = None
+    ) -> ReachEstimate:
+        """Rounded audience-size estimate for a targeting spec.
+
+        This is the only measurement channel the audit has, mirroring
+        the paper's methodology of reading the size estimates shown by
+        the targeting UIs.
+        """
+        objective = objective or self.default_objective
+        if objective not in self.objectives:
+            raise CampaignConfigError(
+                f"{self.name} does not offer objective {objective!r}; "
+                f"available: {', '.join(self.objectives)}"
+            )
+        exact = self.exact_users(spec)
+        value = self._estimate_value(exact, objective)
+        self.query_count += 1
+        return ReachEstimate(
+            estimate=self.rounding.round(value),
+            unit=self.capabilities.estimate_unit,
+            spec=spec,
+            objective=objective,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.key} options={len(self.catalog)} "
+            f"records={self.population.n_records}>"
+        )

@@ -1,0 +1,99 @@
+"""Error taxonomy for the simulated advertising platforms.
+
+The audit code must navigate real interface restrictions -- the
+restricted Facebook interface rejecting age/gender targeting, Google
+refusing size statistics for boolean combinations of user attributes,
+LinkedIn refusing tiny audiences -- and those restrictions surface as
+typed errors so callers can distinguish "you asked for something this
+interface does not offer" from bugs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PlatformError",
+    "TargetingError",
+    "UnknownOptionError",
+    "DisallowedTargetingError",
+    "ExclusionNotAllowedError",
+    "UnsupportedCompositionError",
+    "NoSizeEstimateError",
+    "CampaignConfigError",
+    "ApiError",
+    "RateLimitExceededError",
+    "BadRequestError",
+]
+
+
+class PlatformError(Exception):
+    """Base class for all simulated-platform errors."""
+
+
+class TargetingError(PlatformError):
+    """A targeting spec is invalid for the interface it was sent to."""
+
+
+class UnknownOptionError(TargetingError):
+    """A referenced targeting option does not exist in the catalog."""
+
+    def __init__(self, option_id: str, interface: str = ""):
+        self.option_id = option_id
+        self.interface = interface
+        where = f" on {interface}" if interface else ""
+        super().__init__(f"unknown targeting option {option_id!r}{where}")
+
+
+class DisallowedTargetingError(TargetingError):
+    """The interface forbids this kind of targeting.
+
+    Raised e.g. when age or gender targeting is attempted on Facebook's
+    restricted (special-ad-category) interface.
+    """
+
+
+class ExclusionNotAllowedError(TargetingError):
+    """The interface forbids excluding users with particular attributes."""
+
+
+class UnsupportedCompositionError(TargetingError):
+    """The requested boolean combination is not expressible.
+
+    Raised e.g. when two Google targeting options from the *same*
+    feature are AND-composed, which Google's display interface does not
+    support (paper, footnote 9).
+    """
+
+
+class NoSizeEstimateError(PlatformError):
+    """The targeting is valid but the interface shows no size estimate.
+
+    Google accepts boolean combinations of user attributes for some
+    campaign types but does not show audience size statistics for them
+    (paper, footnotes 8 and 11).
+    """
+
+
+class CampaignConfigError(PlatformError):
+    """Invalid campaign objective / type / frequency-cap combination."""
+
+
+class ApiError(PlatformError):
+    """Base class for errors raised at the fake-HTTP API layer."""
+
+    status = 500
+
+
+class RateLimitExceededError(ApiError):
+    """The advertiser account exceeded the platform's query rate limit."""
+
+    status = 429
+
+    def __init__(self, retry_after: float):
+        self.retry_after = retry_after
+        super().__init__(f"rate limit exceeded; retry after {retry_after:.2f}s")
+
+
+class BadRequestError(ApiError):
+    """The API request body could not be parsed."""
+
+    status = 400

@@ -1,0 +1,186 @@
+"""Audience-size-estimate rounding policies.
+
+Section 3 of the paper ("Understanding size estimates") measures, from
+80,000+ API calls per platform, how each platform rounds the estimates
+its targeting interface returns:
+
+* **Facebook** -- two significant digits, minimum returned value 1,000;
+* **Google** -- one significant digit up to 100,000, two significant
+  digits thereafter, minimum 40 (0 returned below the minimum);
+* **LinkedIn** -- two significant digits starting at 300 (0 below).
+
+The policies below implement exactly those rules, and additionally
+expose the *preimage interval* of every returned estimate so the
+rounding-sensitivity analysis (computing the least-skewed
+representation ratio consistent with the rounding ranges) can be
+reproduced.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = [
+    "RoundingPolicy",
+    "SignificantDigitRounding",
+    "FacebookRounding",
+    "GoogleRounding",
+    "LinkedInRounding",
+    "ExactRounding",
+    "round_significant",
+]
+
+
+def round_significant(value: float, digits: int) -> int:
+    """Round a positive value to ``digits`` significant digits.
+
+    Uses round-half-up on the last kept digit, matching the behaviour
+    inferred from the platforms' interfaces.
+    """
+    if digits < 1:
+        raise ValueError("digits must be >= 1")
+    if value <= 0:
+        return 0
+    exponent = math.floor(math.log10(value)) - (digits - 1)
+    quantum = 10.0**exponent
+    return int(math.floor(value / quantum + 0.5) * quantum)
+
+
+class RoundingPolicy(ABC):
+    """How a platform turns an exact audience size into an estimate."""
+
+    @abstractmethod
+    def round(self, exact: float) -> int:
+        """Estimate returned for an exact audience size."""
+
+    @abstractmethod
+    def bounds(self, estimate: int) -> tuple[float, float]:
+        """Half-open interval ``[lo, hi)`` of exact sizes mapping to
+        ``estimate``.
+
+        Used by the rounding-sensitivity analysis: a measured ratio
+        built from estimates can be re-evaluated at the interval
+        endpoints to bound the true ratio.
+        """
+
+    def is_consistent(self, estimate: int, exact: float) -> bool:
+        """Whether ``exact`` could have produced ``estimate``."""
+        lo, hi = self.bounds(estimate)
+        return lo <= exact < hi
+
+
+@dataclass(frozen=True)
+class SignificantDigitRounding(RoundingPolicy):
+    """Piecewise significant-digit rounding with a reporting floor.
+
+    Parameters
+    ----------
+    digits_below / digits_above:
+        Significant digits used below / at-or-above ``threshold``.
+        Platforms with a single regime set both equal.
+    threshold:
+        Boundary between the two regimes (Google: 100,000).
+    minimum:
+        Smallest estimate the interface ever shows.
+    below_minimum:
+        Value returned when the exact size is under ``minimum``
+        (Facebook clamps to the minimum; Google and LinkedIn return 0).
+    """
+
+    digits_below: int
+    digits_above: int
+    threshold: float
+    minimum: int
+    below_minimum: int
+
+    def _digits_for(self, value: float) -> int:
+        return self.digits_below if value < self.threshold else self.digits_above
+
+    def round(self, exact: float) -> int:
+        if exact < 0:
+            raise ValueError("audience sizes cannot be negative")
+        if exact < self.minimum:
+            return self.below_minimum
+        # The regime is chosen by the exact value; a low-regime value
+        # rounding up to the threshold (95,000 -> 100,000) still has one
+        # significant digit, so the output stays regime-consistent.
+        rounded = round_significant(exact, self._digits_for(exact))
+        return max(rounded, self.minimum)
+
+    def bounds(self, estimate: int) -> tuple[float, float]:
+        if estimate == self.below_minimum and self.below_minimum < self.minimum:
+            return (0.0, float(self.minimum))
+        if estimate < self.minimum:
+            raise ValueError(
+                f"estimate {estimate} below interface minimum {self.minimum}"
+            )
+        digits = self._digits_for(estimate)
+        if estimate <= 0:
+            return (0.0, float(self.minimum))
+        exponent = math.floor(math.log10(estimate)) - (digits - 1)
+        quantum = 10.0**exponent
+        lo = estimate - quantum / 2.0
+        hi = estimate + quantum / 2.0
+        if estimate == self.minimum and self.below_minimum == self.minimum:
+            # The floor absorbs everything below it (Facebook's 1,000).
+            lo = 0.0
+        return (max(lo, 0.0), hi)
+
+
+class FacebookRounding(SignificantDigitRounding):
+    """Facebook: two significant digits, floor of 1,000."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            digits_below=2,
+            digits_above=2,
+            threshold=float("inf"),
+            minimum=1_000,
+            below_minimum=1_000,
+        )
+
+    def _digits_for(self, value: float) -> int:  # threshold is inf
+        return 2
+
+
+class GoogleRounding(SignificantDigitRounding):
+    """Google: 1 significant digit below 100k, 2 above; min 40, else 0."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            digits_below=1,
+            digits_above=2,
+            threshold=100_000.0,
+            minimum=40,
+            below_minimum=0,
+        )
+
+
+class LinkedInRounding(SignificantDigitRounding):
+    """LinkedIn: two significant digits starting at 300; 0 below."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            digits_below=2,
+            digits_above=2,
+            threshold=float("inf"),
+            minimum=300,
+            below_minimum=0,
+        )
+
+    def _digits_for(self, value: float) -> int:
+        return 2
+
+
+class ExactRounding(RoundingPolicy):
+    """No rounding at all -- used by the rounding-ablation benchmark."""
+
+    def round(self, exact: float) -> int:
+        if exact < 0:
+            raise ValueError("audience sizes cannot be negative")
+        return int(round(exact))
+
+    def bounds(self, estimate: int) -> tuple[float, float]:
+        return (float(estimate), float(estimate) + 1.0)

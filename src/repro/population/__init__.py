@@ -1,0 +1,56 @@
+"""Synthetic user-population substrate.
+
+The paper audits live advertising platforms whose user bases we cannot
+access; this package provides the substitute substrate: synthetic
+populations of users with US-like gender/age marginals and a
+latent-factor interest model, indexed by a packed-bitset audience engine
+so that arbitrary boolean combinations of targeting attributes can be
+counted quickly.
+
+The package is organised as:
+
+``demographics``
+    Sensitive-attribute definitions (gender, age ranges) and marginal
+    distributions.
+``bitsets``
+    The :class:`~repro.population.bitsets.BitVector` packed-bitset type
+    and the :class:`~repro.population.bitsets.AudienceIndex` that maps
+    attribute identifiers to bit vectors.
+``model``
+    The latent-factor generative model tying demographics, latent
+    interests, and targeting attributes together.
+``calibration``
+    Per-platform hyperparameters that shape the skew distributions so
+    the simulated platforms qualitatively match the measurements in the
+    paper (e.g. LinkedIn male-skewed, Google skewed away from 18-24).
+``generator``
+    Samplers that turn a calibrated model into a concrete
+    :class:`~repro.population.generator.Population`.
+"""
+
+from repro.population.bitsets import AudienceIndex, BitVector
+from repro.population.demographics import (
+    AGE_RANGES,
+    GENDERS,
+    AgeRange,
+    DemographicMarginals,
+    Gender,
+    SensitiveAttribute,
+)
+from repro.population.generator import Population, PopulationGenerator
+from repro.population.model import AttributeSpec, LatentFactorModel
+
+__all__ = [
+    "AGE_RANGES",
+    "GENDERS",
+    "AgeRange",
+    "AttributeSpec",
+    "AudienceIndex",
+    "BitVector",
+    "DemographicMarginals",
+    "Gender",
+    "LatentFactorModel",
+    "Population",
+    "PopulationGenerator",
+    "SensitiveAttribute",
+]

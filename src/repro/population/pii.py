@@ -1,0 +1,135 @@
+"""Synthetic personally-identifying information (PII) for the population.
+
+PII-based targeting (Section 2.1 of the paper) lets an advertiser
+upload customer records -- emails, names, phone numbers -- which the
+platform matches against its user base to build a *custom audience*.
+To exercise those code paths we deterministically derive a PII record
+for every population record: the data is entirely synthetic, but the
+matching problem is real (multiple identifier kinds, shared email
+domains, name collisions, records that simply do not match).
+
+Nothing here is reversible to any real person: names are drawn from a
+small fixed pool and all identifiers are keyed on the population seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["PiiRecord", "PiiDirectory"]
+
+_FIRST_NAMES = [
+    "alex", "bailey", "casey", "devon", "emerson", "finley", "harper",
+    "jordan", "kendall", "logan", "morgan", "noel", "parker", "quinn",
+    "reese", "rowan", "sage", "taylor", "val", "winter",
+]
+_LAST_NAMES = [
+    "adams", "baker", "chen", "diaz", "evans", "fischer", "garcia",
+    "hughes", "ibrahim", "jones", "kim", "lopez", "murphy", "nguyen",
+    "olsen", "patel", "quintero", "rossi", "sato", "thompson",
+]
+_EMAIL_DOMAINS = ["example.com", "mail.test", "inbox.invalid", "post.example"]
+
+
+@dataclass(frozen=True)
+class PiiRecord:
+    """One user's synthetic PII as an advertiser might hold it."""
+
+    email: str
+    first_name: str
+    last_name: str
+    phone: str
+    zip_code: str
+
+    @property
+    def hashed_email(self) -> str:
+        """SHA-256 of the normalised email (what uploads actually carry)."""
+        return hashlib.sha256(self.email.strip().lower().encode()).hexdigest()
+
+    @property
+    def name_zip_key(self) -> tuple[str, str, str]:
+        """Fuzzy-match key: (first, last, zip)."""
+        return (self.first_name.lower(), self.last_name.lower(), self.zip_code)
+
+
+class PiiDirectory:
+    """Deterministic PII for every record of one population.
+
+    The directory is what the *platform* knows; an advertiser holds an
+    arbitrary subset (their customer list), possibly stale or mistyped.
+    Matching supports the two channels the real platforms document:
+    hashed email (exact) and name+zip (fuzzy).
+    """
+
+    def __init__(self, n_records: int, seed: int):
+        self.n_records = int(n_records)
+        self.seed = int(seed)
+        rng = np.random.default_rng(np.random.SeedSequence([seed, 0x9E3779B9]))
+        self._first = rng.integers(0, len(_FIRST_NAMES), n_records)
+        self._last = rng.integers(0, len(_LAST_NAMES), n_records)
+        self._domain = rng.integers(0, len(_EMAIL_DOMAINS), n_records)
+        self._zip = rng.integers(10_000, 99_999, n_records)
+        self._by_email: dict[str, int] | None = None
+        self._by_name_zip: dict[tuple[str, str, str], list[int]] | None = None
+
+    def record(self, index: int) -> PiiRecord:
+        """PII record for one population index."""
+        if not 0 <= index < self.n_records:
+            raise IndexError(index)
+        first = _FIRST_NAMES[int(self._first[index])]
+        last = _LAST_NAMES[int(self._last[index])]
+        return PiiRecord(
+            email=f"{first}.{last}.{index}@{_EMAIL_DOMAINS[int(self._domain[index])]}",
+            first_name=first,
+            last_name=last,
+            phone=f"+1555{index:07d}",
+            zip_code=str(int(self._zip[index])),
+        )
+
+    def records(self, indices: Iterable[int]) -> Iterator[PiiRecord]:
+        """PII records for several population indices."""
+        for index in indices:
+            yield self.record(index)
+
+    # -- matching ----------------------------------------------------------
+
+    def _email_index(self) -> dict[str, int]:
+        if self._by_email is None:
+            self._by_email = {
+                self.record(i).hashed_email: i for i in range(self.n_records)
+            }
+        return self._by_email
+
+    def _name_zip_index(self) -> dict[tuple[str, str, str], list[int]]:
+        if self._by_name_zip is None:
+            index: dict[tuple[str, str, str], list[int]] = {}
+            for i in range(self.n_records):
+                index.setdefault(self.record(i).name_zip_key, []).append(i)
+            self._by_name_zip = index
+        return self._by_name_zip
+
+    def match(self, uploads: Sequence[PiiRecord]) -> list[int]:
+        """Match uploaded records to population indices.
+
+        Hashed-email matches win; unmatched records fall back to the
+        name+zip key, which only matches when unambiguous (a single
+        candidate) -- mirroring how platforms avoid fuzzy false
+        positives. Unmatched uploads are dropped silently, as the real
+        interfaces do (advertisers only see the matched count).
+        """
+        matched: set[int] = set()
+        email_index = self._email_index()
+        name_zip_index = self._name_zip_index()
+        for upload in uploads:
+            by_email = email_index.get(upload.hashed_email)
+            if by_email is not None:
+                matched.add(by_email)
+                continue
+            candidates = name_zip_index.get(upload.name_zip_key, [])
+            if len(candidates) == 1:
+                matched.add(candidates[0])
+        return sorted(matched)

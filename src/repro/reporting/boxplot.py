@@ -1,0 +1,87 @@
+"""ASCII box plots on a log2 axis.
+
+The paper's figures plot representation ratios on a log2 axis from
+2^-6 to 2^6 with reference lines at the four-fifths thresholds (0.8 and
+1.25).  :func:`render_box_panel` reproduces one such panel as text::
+
+    Individual      |        ·──────[=#====]───────·          | n=393
+    Top 2-way       |                     ·───[==#==]──·      | n=540
+                    2^-6      0.8 ^ 1.25                 2^6
+
+Glyphs: ``·`` whisker ends (p10/p90), ``[``/``]`` quartiles, ``#``
+median, ``^`` the ideal ratio 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.core.stats import BoxStats
+
+__all__ = ["render_box_row", "render_box_panel"]
+
+_DEFAULT_WIDTH = 61
+_LOG_MIN, _LOG_MAX = -6.0, 6.0
+
+
+def _column(value: float, width: int) -> int | None:
+    """Column index of a ratio on the log2 axis, or None if unplottable."""
+    if value <= 0 or math.isnan(value) or math.isinf(value):
+        return None
+    log = math.log2(value)
+    log = max(_LOG_MIN, min(_LOG_MAX, log))
+    frac = (log - _LOG_MIN) / (_LOG_MAX - _LOG_MIN)
+    return int(round(frac * (width - 1)))
+
+
+def render_box_row(
+    label: str, box: BoxStats, width: int = _DEFAULT_WIDTH
+) -> str:
+    """Render one box-plot row for a ratio distribution."""
+    if box.is_empty:
+        return f"{label:<16s}|{' ' * width}| (empty)"
+    cells = [" "] * width
+    lo = _column(box.p10, width)
+    hi = _column(box.p90, width)
+    if lo is not None and hi is not None:
+        for c in range(lo, hi + 1):
+            cells[c] = "─"
+        cells[lo] = "·"
+        cells[hi] = "·"
+    q1 = _column(box.p25, width)
+    q3 = _column(box.p75, width)
+    if q1 is not None and q3 is not None:
+        for c in range(q1, q3 + 1):
+            cells[c] = "="
+        cells[q1] = "["
+        cells[q3] = "]"
+    med = _column(box.median, width)
+    if med is not None:
+        cells[med] = "#"
+    return f"{label:<16s}|{''.join(cells)}| n={box.n}"
+
+
+def _axis_row(width: int) -> str:
+    cells = [" "] * width
+    for ratio, glyph in ((0.8, "<"), (1.0, "^"), (1.25, ">")):
+        col = _column(ratio, width)
+        if col is not None:
+            cells[col] = glyph
+    line = "".join(cells)
+    return f"{'':<16s}|{line}| 2^-6 .. 2^6 (<0.8 ^1 >1.25)"
+
+
+def render_box_panel(
+    title: str,
+    rows: Sequence[tuple[str, BoxStats]] | Mapping[str, BoxStats],
+    width: int = _DEFAULT_WIDTH,
+) -> str:
+    """Render a titled panel of box-plot rows with the ratio axis."""
+    if isinstance(rows, Mapping):
+        rows = list(rows.items())
+    lines = [title, "-" * len(title)]
+    for label, box in rows:
+        lines.append(render_box_row(label, box, width))
+    lines.append(_axis_row(width))
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Markdown rendering helpers for EXPERIMENTS.md-style reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["markdown_table"]
+
+
+def markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A GitHub-flavoured markdown table."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    sep = "|" + "|".join("---" for _ in headers) + "|"
+    body = []
+    for row in rows:
+        cells = [str(c) for c in row]
+        if len(cells) != len(headers):
+            raise ValueError("row width does not match headers")
+        body.append("| " + " | ".join(cells) + " |")
+    return "\n".join([head, sep, *body])

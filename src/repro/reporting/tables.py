@@ -1,0 +1,69 @@
+"""Aligned plain-text tables for experiment reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Table", "format_ratio", "format_count", "format_percent"]
+
+
+def format_ratio(value: float) -> str:
+    """Format a representation ratio ('12.43', 'inf', '-')."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if math.isinf(value):
+        return "inf"
+    return f"{value:.2f}"
+
+
+def format_count(value: float) -> str:
+    """Format an audience size the way the paper quotes them.
+
+    Examples: ``570K``, ``5.2M``, ``46K``, ``980``.
+    """
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    value = float(value)
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.1f}M".replace(".0M", "M")
+    if value >= 1_000:
+        return f"{value / 1_000:.0f}K"
+    return f"{value:.0f}"
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    return f"{100 * value:.{digits}f}%"
+
+
+@dataclass
+class Table:
+    """A small column-aligned text table builder."""
+
+    headers: Sequence[str]
+    rows: list[Sequence[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are stringified."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        """The aligned table as a multi-line string."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        lines = [fmt(self.headers), fmt(["-" * w for w in widths])]
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)

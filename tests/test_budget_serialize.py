@@ -1,0 +1,180 @@
+"""Tests for query budgeting and result serialisation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.budget import (
+    BudgetExceededError,
+    QueryBudget,
+    estimate_study_queries,
+)
+from repro.core.results import CompositionSet, TargetingAudit
+from repro.core.stats import BoxStats
+from repro.platforms.targeting import TargetingSpec
+from repro.population.demographics import (
+    SENSITIVE_ATTRIBUTES,
+    AgeRange,
+    Gender,
+)
+from repro.reporting.serialize import (
+    audit_from_json,
+    audit_to_json,
+    box_stats_to_json,
+    composition_set_from_json,
+    composition_set_to_json,
+    dump_composition_set,
+    load_composition_set,
+    value_from_json,
+    value_to_json,
+)
+
+GENDER = SENSITIVE_ATTRIBUTES["gender"]
+AGE = SENSITIVE_ATTRIBUTES["age"]
+
+
+class TestQueryBudget:
+    def test_tracks_spent(self, session_small):
+        target = session_small.targets["facebook"]
+        budget = QueryBudget(target, allowance=1000)
+        option = target.study_option_ids()[0]
+        spent_before = budget.spent
+        budget.audit((option,), GENDER)
+        assert budget.spent >= spent_before
+        assert budget.remaining <= 1000
+
+    def test_cache_hits_are_free(self, session_small):
+        target = session_small.targets["facebook"]
+        option = target.study_option_ids()[1]
+        target.audit((option,), GENDER)  # warm the cache
+        budget = QueryBudget(target, allowance=5)
+        budget.audit((option,), GENDER)  # fully cached
+        assert budget.spent == 0
+
+    def test_exhaustion_raises(self, session_small):
+        target = session_small.targets["facebook"]
+        budget = QueryBudget(target, allowance=1)
+        budget.measure(TargetingSpec.of(*target.study_option_ids()[3:5]))
+        assert budget.remaining == 0
+        with pytest.raises(BudgetExceededError):
+            budget.measure(TargetingSpec.of(*target.study_option_ids()[5:7]))
+
+    def test_zero_allowance_blocks_immediately(self, session_small):
+        target = session_small.targets["facebook"]
+        budget = QueryBudget(target, allowance=0)
+        with pytest.raises(BudgetExceededError):
+            budget.measure(TargetingSpec.of(*target.study_option_ids()[7:9]))
+
+    def test_negative_allowance_rejected(self, session_small):
+        with pytest.raises(ValueError):
+            QueryBudget(session_small.targets["facebook"], allowance=-1)
+
+
+class TestEstimateStudyQueries:
+    def test_paper_scale_estimate(self):
+        """The flagship study shape lands in the paper's 'tens of
+        thousands of queries per platform' range."""
+        estimate = estimate_study_queries(
+            n_options=667, attribute=GENDER, n_compositions=1000
+        )
+        assert 5_000 < estimate < 10_000
+        estimate_age = estimate_study_queries(
+            n_options=667, attribute=AGE, n_compositions=1000
+        )
+        assert estimate_age > estimate  # four values instead of two
+
+    def test_monotone_in_everything(self):
+        base = estimate_study_queries(100, GENDER, 100)
+        assert estimate_study_queries(200, GENDER, 100) > base
+        assert estimate_study_queries(100, GENDER, 200) > base
+        assert (
+            estimate_study_queries(100, GENDER, 100, include_random=False)
+            < base
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_study_queries(-1, GENDER)
+
+
+def _audit(attribute, sizes):
+    bases = {v: 1_000_000 for v in attribute.values}
+    return TargetingAudit(
+        options=("a", "b"), attribute=attribute, sizes=sizes, bases=bases
+    )
+
+
+class TestSerialisation:
+    def test_value_roundtrip(self):
+        for value in (Gender.MALE, Gender.FEMALE, *AgeRange):
+            assert value_from_json(value_to_json(value)) is value
+
+    def test_value_disambiguates_enum_collision(self):
+        """Gender.MALE and AgeRange.AGE_18_24 share raw value 0 but
+        serialise distinctly."""
+        assert value_to_json(Gender.MALE) != value_to_json(AgeRange.AGE_18_24)
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(ValueError):
+            value_from_json({"attribute": "gender", "value": "other"})
+
+    def test_audit_roundtrip_gender(self):
+        audit = _audit(GENDER, {Gender.MALE: 100, Gender.FEMALE: 50})
+        back = audit_from_json(audit_to_json(audit))
+        assert back.options == audit.options
+        assert back.ratio(Gender.MALE) == pytest.approx(audit.ratio(Gender.MALE))
+
+    def test_audit_roundtrip_age(self):
+        sizes = {a: 10 * (i + 1) for i, a in enumerate(AGE.values)}
+        audit = _audit(AGE, sizes)
+        back = audit_from_json(audit_to_json(audit))
+        assert back.sizes == audit.sizes
+
+    def test_composition_set_roundtrip(self, tmp_path):
+        composition_set = CompositionSet(
+            "Top 2-way",
+            [_audit(GENDER, {Gender.MALE: 100, Gender.FEMALE: 50})],
+        )
+        path = tmp_path / "set.json"
+        dump_composition_set(composition_set, str(path))
+        loaded = load_composition_set(str(path))
+        assert loaded.label == "Top 2-way"
+        assert len(loaded) == 1
+        assert loaded.audits[0].sizes == composition_set.audits[0].sizes
+
+    def test_box_stats_handles_non_finite(self):
+        payload = box_stats_to_json(BoxStats.from_values([]))
+        assert payload["median"] is None
+        payload = box_stats_to_json(
+            BoxStats(1, 1.0, 1.0, 1.0, 1.0, 1.0, math.inf, math.inf, 1.0)
+        )
+        assert payload["p90"] == "inf"
+
+    @given(
+        male=st.integers(0, 10**7),
+        female=st.integers(0, 10**7),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_audit_roundtrip_property(self, male, female):
+        audit = _audit(GENDER, {Gender.MALE: male, Gender.FEMALE: female})
+        back = audit_from_json(audit_to_json(audit))
+        assert back.total_reach == audit.total_reach
+
+
+class TestRealMeasurementRoundtrip:
+    def test_measured_set_roundtrips(self, session_small, tmp_path):
+        """A composition set measured through the full stack survives a
+        JSON round-trip with identical derived metrics."""
+        from repro.core import audit_individuals
+
+        target = session_small.targets["facebook_restricted"]
+        ids = target.study_option_ids()[:20]
+        measured = audit_individuals(target, GENDER, option_ids=ids)
+        path = tmp_path / "measured.json"
+        dump_composition_set(measured, str(path))
+        loaded = load_composition_set(str(path))
+        assert loaded.ratios(Gender.MALE) == measured.ratios(Gender.MALE)

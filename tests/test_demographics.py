@@ -1,0 +1,87 @@
+"""Tests for sensitive-attribute definitions and marginals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.population.demographics import (
+    AGE_RANGES,
+    GENDERS,
+    SENSITIVE_ATTRIBUTES,
+    US_MARGINALS,
+    AgeRange,
+    DemographicMarginals,
+    Gender,
+)
+
+
+class TestGender:
+    def test_labels(self):
+        assert Gender.MALE.label == "male"
+        assert Gender.FEMALE.label == "female"
+
+    def test_other(self):
+        assert Gender.MALE.other is Gender.FEMALE
+        assert Gender.FEMALE.other is Gender.MALE
+
+    def test_codes_are_stable(self):
+        assert int(Gender.MALE) == 0
+        assert int(Gender.FEMALE) == 1
+
+
+class TestAgeRange:
+    def test_four_ranges(self):
+        assert len(AGE_RANGES) == 4
+
+    def test_labels(self):
+        assert [a.label for a in AGE_RANGES] == ["18-24", "25-34", "35-54", "55+"]
+
+    def test_bounds(self):
+        assert AgeRange.AGE_18_24.bounds == (18, 24)
+        assert AgeRange.AGE_55_PLUS.bounds == (55, None)
+
+
+class TestSensitiveAttributes:
+    def test_registry(self):
+        assert set(SENSITIVE_ATTRIBUTES) == {"gender", "age"}
+        assert SENSITIVE_ATTRIBUTES["gender"].values == GENDERS
+        assert SENSITIVE_ATTRIBUTES["age"].values == AGE_RANGES
+
+    def test_labels(self):
+        assert SENSITIVE_ATTRIBUTES["gender"].labels() == ("male", "female")
+
+
+class TestDemographicMarginals:
+    def test_us_marginals_normalised(self):
+        assert sum(US_MARGINALS.gender_shares()) == pytest.approx(1.0)
+        assert sum(US_MARGINALS.age_shares()) == pytest.approx(1.0)
+
+    def test_joint_shares_sum_to_one(self):
+        joint = US_MARGINALS.joint_shares()
+        assert len(joint) == 8
+        assert sum(joint.values()) == pytest.approx(1.0)
+
+    def test_tilt_shifts_male_share(self):
+        tilted = DemographicMarginals(
+            gender_weights={Gender.MALE: 0.5, Gender.FEMALE: 0.5},
+            age_weights={a: 0.25 for a in AGE_RANGES},
+            age_gender_tilt={AgeRange.AGE_18_24: 1.2},
+        )
+        assert tilted.male_share_within_age(AgeRange.AGE_18_24) == pytest.approx(0.6)
+        assert tilted.male_share_within_age(AgeRange.AGE_55_PLUS) == pytest.approx(0.5)
+
+    def test_tilt_clamped(self):
+        tilted = DemographicMarginals(
+            gender_weights={Gender.MALE: 0.9, Gender.FEMALE: 0.1},
+            age_weights={a: 0.25 for a in AGE_RANGES},
+            age_gender_tilt={AgeRange.AGE_18_24: 5.0},
+        )
+        assert tilted.male_share_within_age(AgeRange.AGE_18_24) == 1.0
+
+    def test_zero_weights_rejected(self):
+        bad = DemographicMarginals(
+            gender_weights={Gender.MALE: 0.0, Gender.FEMALE: 0.0},
+            age_weights={a: 0.25 for a in AGE_RANGES},
+        )
+        with pytest.raises(ValueError):
+            bad.gender_shares()

@@ -1,0 +1,198 @@
+"""Tests for experiment infrastructure: config, populations, context, CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentContext,
+    FIG5_POPULATIONS,
+    FavoredPopulation,
+    TABLE1_POPULATIONS,
+    TARGET_LABELS,
+)
+from repro.core.results import TargetingAudit
+from repro.population.demographics import (
+    SENSITIVE_ATTRIBUTES,
+    AgeRange,
+    Gender,
+)
+
+GENDER = SENSITIVE_ATTRIBUTES["gender"]
+AGE = SENSITIVE_ATTRIBUTES["age"]
+
+
+class TestExperimentConfig:
+    def test_presets_ordering(self):
+        full, small, tiny = (
+            ExperimentConfig.full(),
+            ExperimentConfig.small(),
+            ExperimentConfig.tiny(),
+        )
+        assert full.n_compositions > small.n_compositions > tiny.n_compositions
+        assert full.n_records > small.n_records > tiny.n_records
+
+    def test_full_matches_paper_parameters(self):
+        full = ExperimentConfig.full()
+        assert full.n_compositions == 1000
+        assert full.min_reach == 10_000
+        assert full.overlap_top_k == 100
+        assert full.union_top_k == 10
+        assert full.removal_percentiles == (0, 2, 4, 6, 8, 10)
+        assert full.consistency_repeats == 100
+        assert full.consistency_targetings == 20
+
+    def test_with_records(self):
+        config = ExperimentConfig.tiny().with_records(999)
+        assert config.n_records == 999
+        assert config.n_compositions == ExperimentConfig.tiny().n_compositions
+
+
+def gender_audit(male, female, options=("x",)):
+    return TargetingAudit(
+        options=options,
+        attribute=GENDER,
+        sizes={Gender.MALE: male, Gender.FEMALE: female},
+        bases={Gender.MALE: 1000, Gender.FEMALE: 1000},
+    )
+
+
+def age_audit(sizes, options=("x",)):
+    return TargetingAudit(
+        options=options,
+        attribute=AGE,
+        sizes=sizes,
+        bases={a: 1000 for a in AgeRange},
+    )
+
+
+class TestFavoredPopulation:
+    def test_labels(self):
+        assert FavoredPopulation(Gender.MALE).label == "Male"
+        assert FavoredPopulation(AgeRange.AGE_18_24).label == "Age 18-24"
+        assert (
+            FavoredPopulation(AgeRange.AGE_18_24, exclude=True).label
+            == "Age not 18-24"
+        )
+
+    def test_directions(self):
+        assert FavoredPopulation(Gender.MALE).direction == "top"
+        assert (
+            FavoredPopulation(AgeRange.AGE_55_PLUS, exclude=True).direction
+            == "bottom"
+        )
+
+    def test_favours_inclusion(self):
+        population = FavoredPopulation(Gender.MALE)
+        assert population.favours(gender_audit(30, 10))
+        assert not population.favours(gender_audit(10, 30))
+        assert not population.favours(gender_audit(10, 10))
+
+    def test_favours_exclusion(self):
+        population = FavoredPopulation(AgeRange.AGE_55_PLUS, exclude=True)
+        sizes = {
+            AgeRange.AGE_18_24: 100,
+            AgeRange.AGE_25_34: 100,
+            AgeRange.AGE_35_54: 100,
+            AgeRange.AGE_55_PLUS: 5,
+        }
+        assert population.favours(age_audit(sizes))
+
+    def test_recall(self):
+        inc = FavoredPopulation(Gender.MALE)
+        exc = FavoredPopulation(Gender.MALE, exclude=True)
+        audit = gender_audit(30, 12)
+        assert inc.recall(audit) == 30
+        assert exc.recall(audit) == 12
+
+    def test_population_size(self):
+        bases = {Gender.MALE: 600, Gender.FEMALE: 400}
+        assert FavoredPopulation(Gender.MALE).population_size(bases) == 600
+        assert (
+            FavoredPopulation(Gender.MALE, exclude=True).population_size(bases)
+            == 400
+        )
+
+    def test_attribute(self):
+        assert FavoredPopulation(Gender.FEMALE).attribute is GENDER
+        assert FavoredPopulation(AgeRange.AGE_25_34).attribute is AGE
+
+    def test_canonical_sets(self):
+        assert len(TABLE1_POPULATIONS) == 4
+        assert {p.label for p in TABLE1_POPULATIONS} == {
+            "Male", "Female", "Age not 18-24", "Age not 55+",
+        }
+        assert len(FIG5_POPULATIONS) == 6
+
+
+class TestExperimentContext:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return ExperimentContext(ExperimentConfig.tiny())
+
+    def test_target_labels(self):
+        assert TARGET_LABELS["facebook_restricted"] == "FB-restricted"
+        assert set(TARGET_LABELS) == {
+            "facebook_restricted", "facebook", "google", "linkedin",
+        }
+
+    def test_individuals_cached(self, ctx):
+        first = ctx.individuals("facebook_restricted", "gender")
+        second = ctx.individuals("facebook_restricted", "gender")
+        assert first is second
+
+    def test_skewed_sets_cached_per_type(self, ctx):
+        """Gender.MALE and AGE_18_24 (same raw int) must cache apart."""
+        gender_set = ctx.skewed_set("facebook_restricted", Gender.MALE, "top")
+        age_set = ctx.skewed_set(
+            "facebook_restricted", AgeRange.AGE_18_24, "top"
+        )
+        assert gender_set is not age_set
+        assert gender_set is ctx.skewed_set(
+            "facebook_restricted", Gender.MALE, "top"
+        )
+
+    def test_figure_sets_order(self, ctx):
+        sets = ctx.figure_sets("facebook_restricted", Gender.MALE)
+        assert [s.label for s in sets] == [
+            "Individual", "Random 2-way", "Top 2-way", "Bottom 2-way",
+        ]
+        with_3way = ctx.figure_sets(
+            "facebook_restricted", Gender.MALE, include_3way=True
+        )
+        assert [s.label for s in with_3way][-2:] == ["Top 3-way", "Bottom 3-way"]
+
+    def test_figure_sets_are_reach_filtered(self, ctx):
+        sets = ctx.figure_sets("facebook_restricted", Gender.MALE)
+        for s in sets:
+            assert all(
+                a.total_reach >= ctx.config.min_reach for a in s.audits
+            )
+
+
+class TestRunnerCli:
+    def test_main_runs_selected_experiment(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        out = tmp_path / "report.txt"
+        code = main(
+            [
+                "--scale", "tiny",
+                "--only", "fig1",
+                "--records", "8000",
+                "--seed", "3",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "Figure 1" in text
+        captured = capsys.readouterr()
+        assert "Figure 1" in captured.out
+
+    def test_main_rejects_unknown_experiment(self):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["--only", "fig99"])

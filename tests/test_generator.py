@@ -1,0 +1,108 @@
+"""Tests for population generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.population.calibration import get_calibration
+from repro.population.demographics import AGE_RANGES, Gender, US_MARGINALS
+from repro.population.generator import PopulationGenerator
+from repro.population.model import AttributeSpec, default_model
+
+
+def make_generator(n=4000, seed=0):
+    return PopulationGenerator(
+        marginals=US_MARGINALS,
+        model=default_model(n_factors=4),
+        n_records=n,
+        scale=100.0,
+        seed=seed,
+    )
+
+
+def make_spec(attr_id="t:f:a", beta_gender=0.8, base=-2.0):
+    return AttributeSpec(
+        attr_id=attr_id,
+        feature="f",
+        category="C",
+        name="A",
+        base_logit=base,
+        beta_gender=beta_gender,
+        beta_age=(0.0, 0.0, 0.0, 0.0),
+    )
+
+
+class TestGeneration:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PopulationGenerator(US_MARGINALS, default_model(), n_records=0)
+        with pytest.raises(ValueError):
+            PopulationGenerator(US_MARGINALS, default_model(), 10, scale=0)
+
+    def test_population_shape(self):
+        pop = make_generator().generate()
+        assert pop.n_records == 4000
+        assert pop.latents.shape == (4000, 4)
+        assert pop.total_users == pytest.approx(400_000)
+
+    def test_marginals_approximated(self):
+        pop = make_generator(n=20_000).generate()
+        shares = pop.empirical_gender_shares()
+        expected = US_MARGINALS.gender_shares()
+        assert shares[Gender.MALE] == pytest.approx(expected[0], abs=0.02)
+        age_shares = pop.empirical_age_shares()
+        for age, expected_share in zip(AGE_RANGES, US_MARGINALS.age_shares()):
+            assert age_shares[age] == pytest.approx(expected_share, abs=0.02)
+
+    def test_deterministic_in_seed(self):
+        a = make_generator(seed=7).generate([make_spec()])
+        b = make_generator(seed=7).generate([make_spec()])
+        assert np.array_equal(a.gender_codes, b.gender_codes)
+        assert a.index.attribute("t:f:a") == b.index.attribute("t:f:a")
+
+    def test_different_seeds_differ(self):
+        a = make_generator(seed=7).generate()
+        b = make_generator(seed=8).generate()
+        assert not np.array_equal(a.gender_codes, b.gender_codes)
+
+
+class TestAttributeRealisation:
+    def test_order_independent(self):
+        s1, s2 = make_spec("t:f:a"), make_spec("t:f:b")
+        pop_ab = make_generator(seed=7).generate([s1, s2])
+        pop_ba = make_generator(seed=7).generate([s2, s1])
+        assert pop_ab.index.attribute("t:f:a") == pop_ba.index.attribute("t:f:a")
+        assert pop_ab.index.attribute("t:f:b") == pop_ba.index.attribute("t:f:b")
+
+    def test_lazy_realisation_idempotent(self):
+        pop = make_generator(seed=7).generate()
+        first = pop.realise_attribute(make_spec())
+        second = pop.realise_attribute(make_spec())
+        assert first is second
+
+    def test_gender_skew_realised(self):
+        pop = make_generator(n=20_000, seed=7).generate([make_spec(beta_gender=1.5)])
+        vec = pop.index.attribute("t:f:a")
+        males = pop.index.gender(Gender.MALE)
+        females = pop.index.gender(Gender.FEMALE)
+        male_rate = vec.intersect_count(males) / males.count()
+        female_rate = vec.intersect_count(females) / females.count()
+        assert male_rate > female_rate * 1.5
+
+    def test_demographic_size_scaled(self):
+        pop = make_generator().generate()
+        total = sum(pop.demographic_size(g) for g in (Gender.MALE, Gender.FEMALE))
+        assert total == pytest.approx(pop.total_users)
+
+
+class TestCalibrationScale:
+    def test_scale_for(self):
+        cal = get_calibration("facebook")
+        assert cal.scale_for(1000) == pytest.approx(cal.total_us_users / 1000)
+        with pytest.raises(ValueError):
+            cal.scale_for(0)
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            get_calibration("myspace")

@@ -1,0 +1,165 @@
+"""Tests for the per-platform estimate rounding policies.
+
+The expected behaviours are the ones the paper *measured*: Facebook
+rounds to two significant digits with a floor of 1,000; Google to one
+significant digit until 100,000 and two thereafter with minimum 40
+(0 below); LinkedIn to two significant digits starting at 300.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platforms.rounding import (
+    ExactRounding,
+    FacebookRounding,
+    GoogleRounding,
+    LinkedInRounding,
+    round_significant,
+)
+
+
+class TestRoundSignificant:
+    @pytest.mark.parametrize(
+        "value,digits,expected",
+        [
+            (1234, 2, 1200),
+            (1250, 2, 1300),  # half rounds up
+            (987, 1, 1000),
+            (987, 3, 987),
+            (1, 2, 1),
+            (99_999, 2, 100_000),
+        ],
+    )
+    def test_examples(self, value, digits, expected):
+        assert round_significant(value, digits) == expected
+
+    def test_zero_and_negative(self):
+        assert round_significant(0, 2) == 0
+        assert round_significant(-5, 2) == 0
+
+    def test_digits_validation(self):
+        with pytest.raises(ValueError):
+            round_significant(100, 0)
+
+
+class TestFacebookRounding:
+    policy = FacebookRounding()
+
+    @pytest.mark.parametrize(
+        "exact,expected",
+        [
+            (0, 1000),
+            (500, 1000),
+            (999, 1000),
+            (1000, 1000),
+            (1049, 1000),
+            (1050, 1100),
+            (123_456, 120_000),
+            (9_876_543, 9_900_000),
+        ],
+    )
+    def test_rounding(self, exact, expected):
+        assert self.policy.round(exact) == expected
+
+    def test_minimum_bounds_absorb_floor(self):
+        lo, hi = self.policy.bounds(1000)
+        assert lo == 0.0
+        assert hi == 1050.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            self.policy.round(-1)
+
+
+class TestGoogleRounding:
+    policy = GoogleRounding()
+
+    @pytest.mark.parametrize(
+        "exact,expected",
+        [
+            (0, 0),
+            (39, 0),
+            (40, 40),
+            (44, 40),
+            (45, 50),
+            (12_345, 10_000),
+            (99_999, 100_000),  # crosses regime, re-rounded at 2 digits
+            (123_456, 120_000),
+            (2_987_654, 3_000_000),
+        ],
+    )
+    def test_rounding(self, exact, expected):
+        assert self.policy.round(exact) == expected
+
+    def test_below_minimum_bounds(self):
+        lo, hi = self.policy.bounds(0)
+        assert (lo, hi) == (0.0, 40.0)
+
+    def test_bounds_reject_impossible_estimate(self):
+        with pytest.raises(ValueError):
+            self.policy.bounds(10)
+
+
+class TestLinkedInRounding:
+    policy = LinkedInRounding()
+
+    @pytest.mark.parametrize(
+        "exact,expected",
+        [
+            (0, 0),
+            (299, 0),
+            (300, 300),
+            (12_345, 12_000),
+            (1_234_567, 1_200_000),
+        ],
+    )
+    def test_rounding(self, exact, expected):
+        assert self.policy.round(exact) == expected
+
+
+class TestExactRounding:
+    def test_identity(self):
+        policy = ExactRounding()
+        assert policy.round(12_345.4) == 12345
+        assert policy.bounds(12345) == (12345.0, 12346.0)
+
+
+@pytest.mark.parametrize(
+    "policy",
+    [FacebookRounding(), GoogleRounding(), LinkedInRounding(), ExactRounding()],
+    ids=["facebook", "google", "linkedin", "exact"],
+)
+class TestPolicyProperties:
+    @given(exact=st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=200, deadline=None)
+    def test_round_is_consistent_with_bounds(self, policy, exact):
+        """Every exact value falls inside the preimage of its estimate."""
+        estimate = policy.round(exact)
+        assert policy.is_consistent(estimate, exact)
+
+    @given(exact=st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=200, deadline=None)
+    def test_round_is_idempotent(self, policy, exact):
+        estimate = policy.round(exact)
+        assert policy.round(estimate) == estimate
+
+    @given(
+        a=st.integers(min_value=0, max_value=10**9),
+        b=st.integers(min_value=0, max_value=10**9),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_round_is_monotone(self, policy, a, b):
+        if a <= b:
+            assert policy.round(a) <= policy.round(b)
+
+    @given(exact=st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=200, deadline=None)
+    def test_relative_error_bounded(self, policy, exact):
+        """Above the reporting floor, rounding error is < 50% relative
+        (one significant digit) -- the coarsest regime any platform has."""
+        estimate = policy.round(exact)
+        if exact > 1000 and estimate > 0:
+            assert abs(estimate - exact) / exact < 0.5

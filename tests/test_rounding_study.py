@@ -1,0 +1,149 @@
+"""Tests for the size-estimate studies (consistency, granularity,
+rounding sensitivity)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.discovery import audit_individuals
+from repro.core.rounding_study import (
+    consistency_study,
+    infer_granularity,
+    ratio_interval,
+    sensitivity_study,
+    significant_digits,
+)
+from repro.platforms.rounding import (
+    ExactRounding,
+    FacebookRounding,
+    GoogleRounding,
+    LinkedInRounding,
+)
+from repro.platforms.targeting import TargetingSpec
+from repro.population.demographics import SENSITIVE_ATTRIBUTES, Gender
+
+GENDER = SENSITIVE_ATTRIBUTES["gender"]
+
+
+class TestSignificantDigits:
+    @pytest.mark.parametrize(
+        "value,digits",
+        [(1000, 1), (1200, 2), (1230, 3), (40, 1), (45, 2), (300, 1)],
+    )
+    def test_examples(self, value, digits):
+        assert significant_digits(value) == digits
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            significant_digits(0)
+
+
+class TestConsistency:
+    def test_simulated_platforms_are_consistent(self, session_small):
+        """Repeated identical calls return identical estimates -- the
+        paper's observation for all three real platforms."""
+        client = session_small.clients["facebook"]
+        specs = [TargetingSpec.of(o.option_id) for o in client.catalog()[:5]]
+        report = consistency_study(client, specs, repeats=10)
+        assert report.all_consistent
+        assert report.repeats == 10
+        assert report.n_targetings == 5
+
+    def test_inconsistency_detected(self, session_small):
+        class NoisyClient:
+            interface_key = "noisy"
+
+            def __init__(self):
+                self.calls = 0
+
+            def estimate(self, spec):
+                self.calls += 1
+                return self.calls  # different every time
+
+        report = consistency_study(NoisyClient(), [TargetingSpec.everyone()], 3)
+        assert not report.all_consistent
+
+
+class TestGranularityInference:
+    def test_facebook_style_pool(self):
+        policy = FacebookRounding()
+        estimates = [policy.round(v) for v in range(500, 2_000_000, 1234)]
+        report = infer_granularity(estimates)
+        assert report.max_digits_below_100k == 2
+        assert report.max_digits_at_or_above_100k == 2
+        assert report.min_nonzero == 1000
+        assert "2 significant digit(s)" in report.summary()
+
+    def test_google_style_pool(self):
+        policy = GoogleRounding()
+        values = list(range(0, 2_000)) + list(range(2_000, 3_000_000, 517))
+        estimates = [policy.round(v) for v in values]
+        report = infer_granularity(estimates)
+        assert report.max_digits_below_100k == 1
+        assert report.max_digits_at_or_above_100k == 2
+        assert report.min_nonzero == 40
+        assert report.n_zero > 0
+
+    def test_linkedin_style_pool(self):
+        policy = LinkedInRounding()
+        values = list(range(0, 2_000)) + list(range(2_000, 500_000, 173))
+        estimates = [policy.round(v) for v in values]
+        report = infer_granularity(estimates)
+        assert report.max_digits_below_100k == 2
+        assert report.min_nonzero == 300
+
+    def test_empty_pool(self):
+        report = infer_granularity([0, 0])
+        assert report.min_nonzero is None
+        assert "no non-zero" in report.summary()
+
+
+class TestRatioInterval:
+    def test_exact_policy_gives_tight_interval(self):
+        sizes = {Gender.MALE: 3000, Gender.FEMALE: 1000}
+        bases = {Gender.MALE: 100_000, Gender.FEMALE: 100_000}
+        lo, hi = ratio_interval(sizes, bases, Gender.MALE, ExactRounding())
+        assert lo == pytest.approx(3.0, rel=0.01)
+        assert hi == pytest.approx(3.0, rel=0.01)
+
+    def test_rounded_interval_contains_measured(self):
+        policy = FacebookRounding()
+        sizes = {Gender.MALE: 35_000, Gender.FEMALE: 11_000}
+        bases = {Gender.MALE: 1_000_000, Gender.FEMALE: 1_100_000}
+        measured = (35_000 / 1_000_000) / (11_000 / 1_100_000)
+        lo, hi = ratio_interval(sizes, bases, Gender.MALE, policy)
+        assert lo <= measured <= hi
+
+    def test_floor_numerator_gives_wide_interval(self):
+        policy = FacebookRounding()
+        sizes = {Gender.MALE: 1000, Gender.FEMALE: 50_000}
+        bases = {Gender.MALE: 1_000_000, Gender.FEMALE: 1_000_000}
+        lo, hi = ratio_interval(sizes, bases, Gender.MALE, policy)
+        assert lo == 0.0  # the floored numerator could be anything below
+
+
+class TestSensitivityStudy:
+    def test_skew_largely_preserved(self, session_small):
+        """The paper's conclusion: rounding does not change the skew
+        picture for the bulk of skewed targetings."""
+        target = session_small.targets["facebook"]
+        individual = audit_individuals(target, GENDER).filtered(10_000)
+        report = sensitivity_study(
+            individual.audits, Gender.MALE, FacebookRounding()
+        )
+        assert report.n_skewed_measured > 50
+        assert report.skew_preserved_fraction > 0.5
+
+    def test_exact_policy_preserves_everything(self, session_exact):
+        target = session_exact.targets["facebook"]
+        individual = audit_individuals(target, GENDER).filtered(10_000)
+        report = sensitivity_study(
+            individual.audits, Gender.MALE, ExactRounding()
+        )
+        assert report.skew_preserved_fraction == pytest.approx(1.0)
+
+    def test_empty_input(self):
+        report = sensitivity_study([], Gender.MALE, ExactRounding())
+        assert math.isnan(report.skew_preserved_fraction)

@@ -1,0 +1,194 @@
+"""Round-trip tests for the Facebook/LinkedIn/Google wire codecs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.obfuscation import GoogleWireCodec, criterion_id
+from repro.api.wire import FacebookWireCodec, LinkedInWireCodec
+from repro.platforms.errors import BadRequestError
+from repro.platforms.google import FrequencyCap
+from repro.platforms.targeting import TargetingSpec
+from repro.population.demographics import AGE_RANGES, AgeRange, Gender
+
+OPTIONS = [f"x:feat:opt-{i}" for i in range(8)]
+
+
+class TestFacebookCodec:
+    def roundtrip(self, spec, objective=None):
+        body = FacebookWireCodec.encode_request(spec, objective)
+        decoded, obj = FacebookWireCodec.decode_request(body)
+        return decoded, obj
+
+    def test_plain(self):
+        spec = TargetingSpec.of(*OPTIONS[:2])
+        decoded, _ = self.roundtrip(spec)
+        assert decoded == spec
+
+    def test_demographics(self):
+        spec = (
+            TargetingSpec.and_of_ors([OPTIONS[:2], OPTIONS[2:3]])
+            .with_gender(Gender.FEMALE)
+            .with_age(AgeRange.AGE_35_54)
+        )
+        decoded, _ = self.roundtrip(spec)
+        assert decoded == spec
+
+    def test_multiple_ages(self):
+        spec = TargetingSpec.everyone().with_ages(
+            [AgeRange.AGE_25_34, AgeRange.AGE_55_PLUS]
+        )
+        decoded, _ = self.roundtrip(spec)
+        assert decoded == spec
+
+    def test_exclusions(self):
+        spec = TargetingSpec.of(OPTIONS[0]).excluding(OPTIONS[1])
+        decoded, _ = self.roundtrip(spec)
+        assert decoded == spec
+
+    def test_objective_passthrough(self):
+        _, obj = self.roundtrip(TargetingSpec.everyone(), objective="Reach")
+        assert obj == "Reach"
+
+    def test_response_roundtrip(self):
+        body = FacebookWireCodec.encode_response(12_000)
+        assert FacebookWireCodec.decode_response(body) == 12_000
+
+    def test_malformed_request(self):
+        with pytest.raises(BadRequestError):
+            FacebookWireCodec.decode_request({})
+        with pytest.raises(BadRequestError):
+            FacebookWireCodec.decode_request(
+                {"targeting_spec": {"geo_locations": {"countries": ["US", "CA"]}}}
+            )
+
+    def test_malformed_response(self):
+        with pytest.raises(BadRequestError):
+            FacebookWireCodec.decode_response({"data": []})
+
+
+class TestLinkedInCodec:
+    def test_roundtrip(self):
+        spec = TargetingSpec.and_of_ors([OPTIONS[:2], OPTIONS[3:5]]).excluding(
+            OPTIONS[6]
+        )
+        body = LinkedInWireCodec.encode_request(spec)
+        assert LinkedInWireCodec.decode_request(body) == spec
+
+    def test_facet_urns_on_wire(self):
+        body = LinkedInWireCodec.encode_request(TargetingSpec.of(OPTIONS[0]))
+        urn = body["include"]["and"][0]["or"][0]
+        assert urn.startswith("urn:li:adTargetingFacet:")
+
+    def test_demographic_fields_rejected(self):
+        with pytest.raises(BadRequestError):
+            LinkedInWireCodec.encode_request(
+                TargetingSpec.everyone().with_gender(Gender.MALE)
+            )
+
+    def test_response_roundtrip(self):
+        assert LinkedInWireCodec.decode_response(
+            LinkedInWireCodec.encode_response(300)
+        ) == 300
+
+    def test_malformed(self):
+        with pytest.raises(BadRequestError):
+            LinkedInWireCodec.decode_request({"locations": ["US"]})
+        with pytest.raises(BadRequestError):
+            LinkedInWireCodec.decode_response({})
+
+
+class TestGoogleCodec:
+    def make_codec(self):
+        return GoogleWireCodec(OPTIONS)
+
+    def feature_of(self):
+        return {o: "audiences" if i < 4 else "topics" for i, o in enumerate(OPTIONS)}
+
+    def test_roundtrip_with_everything(self):
+        codec = self.make_codec()
+        spec = (
+            TargetingSpec.and_of_ors([OPTIONS[:2], OPTIONS[4:6]])
+            .with_gender(Gender.MALE)
+            .with_age(AgeRange.AGE_18_24)
+        )
+        cap = FrequencyCap(1, "month")
+        body = codec.encode_request(
+            spec, self.feature_of(), frequency_cap=cap, objective="Brand"
+        )
+        decoded, decoded_cap, objective = codec.decode_request(body)
+        assert decoded == spec
+        assert decoded_cap == cap
+        assert objective == "Brand"
+
+    def test_body_is_obfuscated(self):
+        codec = self.make_codec()
+        body = codec.encode_request(TargetingSpec.of(OPTIONS[0]), self.feature_of())
+        # numeric-string keys only, and no option identifiers in clear text
+        assert all(key.isdigit() for key in body)
+        assert OPTIONS[0] not in str(body)
+
+    def test_criterion_ids_stable(self):
+        assert criterion_id("abc") == criterion_id("abc")
+        assert criterion_id("abc") != criterion_id("abd")
+
+    def test_unknown_criterion_rejected(self):
+        codec = GoogleWireCodec([])  # empty reverse table
+        body = GoogleWireCodec(OPTIONS).encode_request(
+            TargetingSpec.of(OPTIONS[0]), self.feature_of()
+        )
+        with pytest.raises(BadRequestError):
+            codec.decode_request(body)
+
+    def test_mixed_feature_clause_rejected_on_encode(self):
+        codec = self.make_codec()
+        spec = TargetingSpec.and_of_ors([[OPTIONS[0], OPTIONS[5]]])
+        with pytest.raises(ValueError):
+            codec.encode_request(spec, self.feature_of())
+
+    def test_malformed_bodies(self):
+        codec = self.make_codec()
+        with pytest.raises(BadRequestError):
+            codec.decode_request({})
+        with pytest.raises(BadRequestError):
+            codec.decode_request({"1": 840, "2": [99]})
+        with pytest.raises(BadRequestError):
+            codec.decode_request({"1": 840, "4": {"999": [[1]]}})
+        with pytest.raises(BadRequestError):
+            codec.decode_response({"1": {}})
+
+    def test_response_roundtrip(self):
+        codec = self.make_codec()
+        assert codec.decode_response(codec.encode_response(5_000)) == 5_000
+
+
+@st.composite
+def fb_specs(draw):
+    n_clauses = draw(st.integers(0, 3))
+    clauses = [
+        draw(st.sets(st.sampled_from(OPTIONS), min_size=1, max_size=3))
+        for _ in range(n_clauses)
+    ]
+    spec = TargetingSpec.and_of_ors([sorted(c) for c in clauses])
+    if draw(st.booleans()):
+        spec = spec.with_gender(draw(st.sampled_from(list(Gender))))
+    if draw(st.booleans()):
+        ages = draw(
+            st.sets(st.sampled_from(list(AGE_RANGES)), min_size=1, max_size=4)
+        )
+        spec = spec.with_ages(ages)
+    exclusions = draw(st.sets(st.sampled_from(OPTIONS), max_size=2))
+    if exclusions:
+        spec = spec.excluding(*exclusions)
+    return spec
+
+
+class TestFacebookCodecProperties:
+    @given(fb_specs())
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_identity(self, spec):
+        body = FacebookWireCodec.encode_request(spec)
+        decoded, _ = FacebookWireCodec.decode_request(body)
+        assert decoded == spec
