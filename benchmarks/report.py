@@ -1,0 +1,225 @@
+"""Audit report for the batched reach-estimation pipeline.
+
+Runs the macro experiments that dominate audit cost (Figures 1 and 2)
+twice each -- once with batched query planning (the default) and once
+with the per-query sequential path -- and writes ``BENCH_audit.json``
+at the repository root recording, per experiment and mode:
+
+* end-to-end wall time (best of ``--rounds`` cold runs, each on a
+  fresh session so no caches leak between modes);
+* simulated time on the transport's virtual clock (latency per HTTP
+  round-trip, so batching shows up directly);
+* HTTP request counts, total and per route;
+* per-interface query counts and rule-resolution memo hit rates;
+* per-target estimate-cache hit rates;
+* the batched-vs-sequential wall-time and virtual-time ratios.
+
+Both modes produce bit-identical audit records (enforced by
+``tests/test_batch_api.py``); this report quantifies what the batching
+buys.  Usage::
+
+    PYTHONPATH=src python benchmarks/report.py [--records N] [--rounds K]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentContext,
+    fig1_restricted,
+    fig2_platforms,
+)
+
+EXPERIMENTS = {
+    "fig1_restricted": fig1_restricted.run,
+    "fig2_platforms": fig2_platforms.run,
+}
+
+#: Interface keys -> attribute paths on the platform suite.
+_INTERFACES = {
+    "facebook": lambda suite: suite.facebook.normal,
+    "facebook_restricted": lambda suite: suite.facebook.restricted,
+    "google": lambda suite: suite.google.display,
+    "linkedin": lambda suite: suite.linkedin.interface,
+}
+
+
+def _session_stats(ctx: ExperimentContext) -> dict:
+    session = ctx.session
+    targets = {}
+    for key, target in session.targets.items():
+        lookups = target.cache_hits + target.cache_misses
+        targets[key] = {
+            "cache_hits": target.cache_hits,
+            "cache_misses": target.cache_misses,
+            "cache_hit_rate": (
+                round(target.cache_hits / lookups, 4) if lookups else None
+            ),
+            "cached_estimates": target.cache_size,
+        }
+    interfaces = {}
+    for key, get in _INTERFACES.items():
+        interface = get(session.suite)
+        stats = interface.resolution_stats()
+        resolved = stats["hits"] + stats["misses"]
+        interfaces[key] = {
+            "queries": interface.query_count,
+            "resolution_hits": stats["hits"],
+            "resolution_misses": stats["misses"],
+            "resolution_hit_rate": (
+                round(stats["hits"] / resolved, 4) if resolved else None
+            ),
+        }
+    routes = {
+        route: counters["requests"]
+        for route, counters in session.transport.stats().items()
+        if counters["requests"]
+    }
+    return {
+        "http_requests": session.transport.total_requests,
+        "virtual_seconds": round(session.transport.clock.now(), 2),
+        "interfaces": interfaces,
+        "targets": targets,
+        "requests_per_route": routes,
+    }
+
+
+def _run_mode(run, records: int, batched: bool, rounds: int) -> dict:
+    """Best-of-``rounds`` cold wall time plus final-round session stats."""
+    best_wall = None
+    stats = None
+    for _ in range(rounds):
+        ctx = ExperimentContext(ExperimentConfig.small().with_records(records))
+        if not batched:
+            for target in ctx.session.targets.values():
+                target.batch_queries = False
+        start = time.perf_counter()
+        run(ctx)
+        wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+        stats = _session_stats(ctx)
+    return {"wall_seconds": round(best_wall, 3), **stats}
+
+
+def build_report(
+    records: int,
+    rounds: int,
+    baselines: dict[str, float] | None = None,
+    baseline_ref: str | None = None,
+) -> dict:
+    report: dict = {
+        "records_per_platform": records,
+        "rounds_per_mode": rounds,
+        "note": (
+            "wall_seconds is the best of the cold rounds; batched and "
+            "sequential modes yield bit-identical audit records"
+        ),
+        "experiments": {},
+    }
+    baselines = baselines or {}
+    for name, run in EXPERIMENTS.items():
+        batched = _run_mode(run, records, batched=True, rounds=rounds)
+        sequential = _run_mode(run, records, batched=False, rounds=rounds)
+        entry = {
+            "batched": batched,
+            "sequential": sequential,
+            "wall_speedup": round(
+                sequential["wall_seconds"] / batched["wall_seconds"], 2
+            ),
+            "virtual_speedup": round(
+                sequential["virtual_seconds"] / batched["virtual_seconds"], 2
+            ),
+            "request_reduction": round(
+                sequential["http_requests"] / batched["http_requests"], 1
+            ),
+        }
+        if name in baselines:
+            entry["baseline"] = {
+                "ref": baseline_ref,
+                "wall_seconds": baselines[name],
+                "wall_speedup": round(
+                    baselines[name] / batched["wall_seconds"], 2
+                ),
+            }
+        report["experiments"][name] = entry
+    return report
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError("must be at least 1")
+    return number
+
+
+def _baseline_entry(value: str) -> tuple[str, float]:
+    name, sep, seconds = value.partition("=")
+    try:
+        if not sep or not name:
+            raise ValueError
+        return name, float(seconds)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected EXPERIMENT=SECONDS, got {value!r}"
+        ) from None
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--records",
+        type=_positive_int,
+        default=30_000,
+        help="simulated records per platform (default: bench scale, 30k)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=_positive_int,
+        default=3,
+        help="cold rounds per mode; best wall time is reported (default 3)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_audit.json",
+        help="output path (default: BENCH_audit.json at the repo root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        action="append",
+        type=_baseline_entry,
+        default=[],
+        metavar="EXPERIMENT=SECONDS",
+        help=(
+            "externally measured wall time of another revision to record "
+            "a speedup against (repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline-ref",
+        default=None,
+        help="label for the baseline revision (e.g. a commit hash)",
+    )
+    args = parser.parse_args()
+    report = build_report(
+        args.records, args.rounds, dict(args.baseline), args.baseline_ref
+    )
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    for name, entry in report["experiments"].items():
+        print(
+            f"{name}: batched {entry['batched']['wall_seconds']}s vs "
+            f"sequential {entry['sequential']['wall_seconds']}s "
+            f"({entry['wall_speedup']}x wall, {entry['virtual_speedup']}x "
+            f"virtual, {entry['request_reduction']}x fewer requests)"
+        )
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

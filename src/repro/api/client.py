@@ -15,11 +15,16 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.api.obfuscation import GoogleWireCodec
 from repro.api.transport import FakeTransport, HttpRequest
-from repro.api.wire import FacebookWireCodec, LinkedInWireCodec
+from repro.api.wire import (
+    MAX_BATCH_SIZE,
+    BatchEnvelope,
+    FacebookWireCodec,
+    LinkedInWireCodec,
+)
 from repro.platforms.errors import (
     ApiError,
     BadRequestError,
@@ -53,6 +58,19 @@ _ERROR_KINDS: dict[str, type[PlatformError]] = {
     "UnsupportedCompositionError": UnsupportedCompositionError,
     "CampaignConfigError": CampaignConfigError,
 }
+
+
+def _error_from_payload(
+    status: int, message: str, kind: str | None
+) -> PlatformError:
+    """Typed exception for an error payload (whole-request or per-item)."""
+    if status == 422:
+        return NoSizeEstimateError(message)
+    if kind in _ERROR_KINDS:
+        return _ERROR_KINDS[kind](message)
+    if status == 400:
+        return BadRequestError(message)
+    return ApiError(f"HTTP {status}: {message}")
 
 
 @dataclass(frozen=True)
@@ -89,6 +107,13 @@ class ReachClient(ABC):
     #: Registry key of the interface this client measures.
     interface_key: str = ""
 
+    #: Specs per batch request; :meth:`estimate_many` chunks to this,
+    #: matching the server-side envelope limit.
+    batch_size: int = MAX_BATCH_SIZE
+
+    #: Path of the platform's batched-estimate endpoint.
+    _batch_path: str = ""
+
     def __init__(
         self,
         transport: FakeTransport,
@@ -121,15 +146,11 @@ class ReachClient(ABC):
                 continue
             if response.ok:
                 return response.body
-            message = str(response.body.get("error", "unknown error"))
-            kind = response.body.get("kind")
-            if response.status == 422:
-                raise NoSizeEstimateError(message)
-            if kind in _ERROR_KINDS:
-                raise _ERROR_KINDS[kind](message)
-            if response.status == 400:
-                raise BadRequestError(message)
-            raise ApiError(f"HTTP {response.status}: {message}")
+            raise _error_from_payload(
+                response.status,
+                str(response.body.get("error", "unknown error")),
+                response.body.get("kind"),
+            )
 
     # -- common surface -----------------------------------------------------
 
@@ -152,6 +173,61 @@ class ReachClient(ABC):
     def estimate(self, spec: TargetingSpec) -> int:
         """Rounded audience-size estimate for a targeting spec."""
 
+    # -- batched estimates --------------------------------------------------
+
+    @abstractmethod
+    def _encode_item(self, spec: TargetingSpec) -> dict[str, Any]:
+        """Single-estimate request body for one spec in a batch."""
+
+    @abstractmethod
+    def _decode_item(self, body: Mapping[str, Any]) -> int:
+        """Estimate from one per-item response body."""
+
+    def _encode_batch(self, items: list[dict[str, Any]]) -> dict[str, Any]:
+        return BatchEnvelope.encode_request(items)
+
+    def _decode_batch(
+        self, body: Mapping[str, Any], expected: int
+    ) -> list[int | PlatformError]:
+        out: list[int | PlatformError] = []
+        for entry in BatchEnvelope.decode_response(body, expected):
+            if "error" in entry:
+                err = entry["error"]
+                out.append(
+                    _error_from_payload(
+                        int(err.get("status", 500)),
+                        str(err.get("error", "unknown error")),
+                        err.get("kind"),
+                    )
+                )
+            elif "result" in entry:
+                out.append(self._decode_item(entry["result"]))
+            else:
+                raise ApiError("malformed batch entry")
+        return out
+
+    def estimate_many(
+        self, specs: Iterable[TargetingSpec]
+    ) -> list[int | PlatformError]:
+        """Estimates for many specs via the batch endpoint.
+
+        One entry per spec, in order: either the rounded estimate or
+        the typed exception instance the equivalent single call would
+        have raised (not raised here, so one inexpressible spec does
+        not lose its batch-mates' results).  Whole-request failures --
+        rate-limit retry exhaustion, malformed envelopes -- still
+        raise.  Requests are chunked to :attr:`batch_size` specs and
+        retain the 429 back-off of single calls.
+        """
+        specs = list(specs)
+        out: list[int | PlatformError] = []
+        for start in range(0, len(specs), self.batch_size):
+            chunk = specs[start : start + self.batch_size]
+            body = self._encode_batch([self._encode_item(s) for s in chunk])
+            response = self._call("POST", self._batch_path, body)
+            out.extend(self._decode_batch(response, len(chunk)))
+        return out
+
 
 class FacebookReachClient(ReachClient):
     """Client for Facebook's delivery-estimate endpoint.
@@ -173,6 +249,7 @@ class FacebookReachClient(ReachClient):
         self.interface_key = "facebook_restricted" if restricted else "facebook"
         prefix = "/facebook/special" if restricted else "/facebook"
         self._estimate_path = f"{prefix}/delivery_estimate"
+        self._batch_path = f"{prefix}/delivery_estimates"
         self._options_path = f"{prefix}/targeting_options"
 
     @property
@@ -180,10 +257,15 @@ class FacebookReachClient(ReachClient):
         return self._options_path
 
     def estimate(self, spec: TargetingSpec) -> int:
-        body = FacebookWireCodec.encode_request(spec, objective=self.objective)
-        return FacebookWireCodec.decode_response(
-            self._call("POST", self._estimate_path, body)
+        return self._decode_item(
+            self._call("POST", self._estimate_path, self._encode_item(spec))
         )
+
+    def _encode_item(self, spec: TargetingSpec) -> dict[str, Any]:
+        return FacebookWireCodec.encode_request(spec, objective=self.objective)
+
+    def _decode_item(self, body: Mapping[str, Any]) -> int:
+        return FacebookWireCodec.decode_response(body)
 
     def search(self, query: str) -> list[CatalogOption]:
         """Free-form attribute search (normal interface only)."""
@@ -205,6 +287,7 @@ class GoogleReachClient(ReachClient):
     """
 
     interface_key = "google"
+    _batch_path = "/google/reach_estimates"
 
     def __init__(
         self,
@@ -229,31 +312,56 @@ class GoogleReachClient(ReachClient):
         return self._feature_of
 
     def estimate(self, spec: TargetingSpec) -> int:
-        body = self._codec.encode_request(
+        return self._decode_item(
+            self._call("POST", "/google/reach_estimate", self._encode_item(spec))
+        )
+
+    def _encode_item(self, spec: TargetingSpec) -> dict[str, Any]:
+        return self._codec.encode_request(
             spec,
             feature_of=self._features(),
             frequency_cap=self.frequency_cap,
             objective=self.objective,
         )
-        return self._codec.decode_response(
-            self._call("POST", "/google/reach_estimate", body)
-        )
+
+    def _decode_item(self, body: Mapping[str, Any]) -> int:
+        return self._codec.decode_response(body)
+
+    def _encode_batch(self, items: list[dict[str, Any]]) -> dict[str, Any]:
+        return self._codec.encode_batch_request(items)
+
+    def _decode_batch(
+        self, body: Mapping[str, Any], expected: int
+    ) -> list[int | PlatformError]:
+        out: list[int | PlatformError] = []
+        for result, error in self._codec.decode_batch_response(body, expected):
+            if error is not None:
+                out.append(_error_from_payload(*error))
+            else:
+                out.append(self._decode_item(result))
+        return out
 
 
 class LinkedInReachClient(ReachClient):
     """Client for LinkedIn's audience-count endpoint."""
 
     interface_key = "linkedin"
+    _batch_path = "/linkedin/audience_counts"
 
     @property
     def _catalog_path(self) -> str:
         return "/linkedin/facets"
 
     def estimate(self, spec: TargetingSpec) -> int:
-        body = LinkedInWireCodec.encode_request(spec)
-        return LinkedInWireCodec.decode_response(
-            self._call("POST", "/linkedin/audience_count", body)
+        return self._decode_item(
+            self._call("POST", "/linkedin/audience_count", self._encode_item(spec))
         )
+
+    def _encode_item(self, spec: TargetingSpec) -> dict[str, Any]:
+        return LinkedInWireCodec.encode_request(spec)
+
+    def _decode_item(self, body: Mapping[str, Any]) -> int:
+        return LinkedInWireCodec.decode_response(body)
 
     def demographic_option_id(self, label: str) -> str:
         """Facet id of a demographic detailed attribute by value label.

@@ -18,8 +18,10 @@ codec plus a reverse criterion-id table built from the catalog.
 from __future__ import annotations
 
 import zlib
+from functools import lru_cache
 from typing import Any, Iterable, Mapping
 
+from repro.api.wire import MAX_BATCH_SIZE
 from repro.platforms.errors import BadRequestError
 from repro.platforms.google import FrequencyCap
 from repro.platforms.targeting import Clause, TargetingSpec
@@ -37,6 +39,14 @@ _F_FREQ_CAP = "5"
 _F_OBJECTIVE = "6"
 _F_ESTIMATE_WRAPPER = "1"
 _F_ESTIMATE_VALUE = "2"
+# Batch envelope: requests and responses nest per-item payloads under
+# another opaque numeric key, mirroring the single-call obfuscation.
+_F_BATCH = "7"
+_F_ITEM_OK = "1"
+_F_ITEM_ERROR = "2"
+_F_ERR_STATUS = "1"
+_F_ERR_MESSAGE = "2"
+_F_ERR_KIND = "3"
 
 _COUNTRY_CODES = {"US": 840}  # ISO 3166-1 numeric, as Google uses
 _COUNTRY_DECODE = {v: k for k, v in _COUNTRY_CODES.items()}
@@ -54,11 +64,13 @@ _AGE_DECODE = {v: k for k, v in _AGE_CODES.items()}
 
 _FEATURE_CODES = {"audiences": 201, "topics": 202}
 _FEATURE_DECODE = {v: k for k, v in _FEATURE_CODES.items()}
+_FEATURE_FIELD = {k: str(v) for k, v in _FEATURE_CODES.items()}
 
 _CAP_PERIOD_CODES = {"day": 1, "week": 2, "month": 3}
 _CAP_PERIOD_DECODE = {v: k for k, v in _CAP_PERIOD_CODES.items()}
 
 
+@lru_cache(maxsize=65536)
 def criterion_id(option_id: str) -> int:
     """Stable numeric criterion id for a targeting option."""
     return zlib.crc32(option_id.encode())
@@ -73,8 +85,18 @@ class GoogleWireCodec:
     by varying options systematically, as the paper describes).
     """
 
+    #: Obfuscated field under which batch payloads travel (the server's
+    #: rate-limit cost accounting inspects it without decoding items).
+    BATCH_FIELD = _F_BATCH
+
     def __init__(self, option_ids: Iterable[str] = ()):
         self._reverse: dict[int, str] = {}
+        # Decode caches: audits resend the same criteria groups and
+        # demographic code lists across thousands of batch items (one
+        # per demographic slice), so decoded clauses and frozensets are
+        # interned per raw tuple.  Bounded by the catalog in practice.
+        self._clause_cache: dict[tuple, Clause] = {}
+        self._demo_cache: dict[tuple, frozenset] = {}
         for option_id in option_ids:
             self.register_option(option_id)
 
@@ -105,18 +127,31 @@ class GoogleWireCodec:
         """
         body: dict[str, Any] = {_F_COUNTRY: _COUNTRY_CODES[spec.country]}
         if spec.genders is not None:
-            body[_F_GENDERS] = sorted(_GENDER_CODES[g] for g in spec.genders)
+            codes = [_GENDER_CODES[g] for g in spec.genders]
+            if len(codes) > 1:
+                codes.sort()
+            body[_F_GENDERS] = codes
         if spec.age_ranges is not None:
-            body[_F_AGES] = sorted(_AGE_CODES[a] for a in spec.age_ranges)
+            codes = [_AGE_CODES[a] for a in spec.age_ranges]
+            if len(codes) > 1:
+                codes.sort()
+            body[_F_AGES] = codes
         criteria: dict[str, list[list[int]]] = {}
         for clause in spec.clauses:
-            features = {feature_of[o] for o in clause}
-            if len(features) != 1:
-                raise ValueError("a Google clause must be single-feature")
-            fcode = str(_FEATURE_CODES[features.pop()])
-            criteria.setdefault(fcode, []).append(
-                sorted(criterion_id(o) for o in clause)
-            )
+            options = clause.options
+            if len(options) == 1:
+                # Single-option clauses dominate audit traffic; skip the
+                # feature-set and sort machinery for them.
+                (option,) = options
+                fcode = _FEATURE_FIELD[feature_of[option]]
+                group = [criterion_id(option)]
+            else:
+                features = {feature_of[o] for o in options}
+                if len(features) != 1:
+                    raise ValueError("a Google clause must be single-feature")
+                fcode = _FEATURE_FIELD[features.pop()]
+                group = sorted(criterion_id(o) for o in options)
+            criteria.setdefault(fcode, []).append(group)
         if criteria:
             body[_F_CRITERIA] = criteria
         if frequency_cap is not None:
@@ -139,30 +174,63 @@ class GoogleWireCodec:
         except (KeyError, TypeError, ValueError):
             raise BadRequestError("missing or unknown country code") from None
 
+        demo_cache = self._demo_cache
         genders = None
         if _F_GENDERS in body:
+            raw = body[_F_GENDERS]
             try:
-                genders = frozenset(_GENDER_DECODE[int(c)] for c in body[_F_GENDERS])
+                key = ("g", *raw)
+                genders = demo_cache.get(key)
+                if genders is None:
+                    genders = demo_cache[key] = frozenset(
+                        _GENDER_DECODE[c if type(c) is int else int(c)]
+                        for c in raw
+                    )
             except (KeyError, TypeError, ValueError):
                 raise BadRequestError("unknown gender code") from None
         ages = None
         if _F_AGES in body:
+            raw = body[_F_AGES]
             try:
-                ages = frozenset(_AGE_DECODE[int(c)] for c in body[_F_AGES])
+                key = ("a", *raw)
+                ages = demo_cache.get(key)
+                if ages is None:
+                    ages = demo_cache[key] = frozenset(
+                        _AGE_DECODE[c if type(c) is int else int(c)]
+                        for c in raw
+                    )
             except (KeyError, TypeError, ValueError):
                 raise BadRequestError("unknown age code") from None
 
-        clauses: list[list[str]] = []
-        for fcode, groups in dict(body.get(_F_CRITERIA, {})).items():
+        clauses: list[Clause] = []
+        reverse = self._reverse
+        clause_cache = self._clause_cache
+        for fcode, groups in (body.get(_F_CRITERIA) or {}).items():
             if int(fcode) not in _FEATURE_DECODE:
                 raise BadRequestError(f"unknown feature code {fcode}")
             for group in groups:
                 try:
-                    clauses.append([self._reverse[int(cid)] for cid in group])
-                except KeyError as exc:
-                    raise BadRequestError(
-                        f"unknown criterion id {exc.args[0]}"
-                    ) from None
+                    key = tuple(group)
+                    clause = clause_cache.get(key)
+                except TypeError:
+                    raise BadRequestError("malformed criterion id") from None
+                if clause is None:
+                    try:
+                        options = frozenset(
+                            reverse[cid if type(cid) is int else int(cid)]
+                            for cid in group
+                        )
+                    except KeyError as exc:
+                        raise BadRequestError(
+                            f"unknown criterion id {exc.args[0]}"
+                        ) from None
+                    except (TypeError, ValueError):
+                        raise BadRequestError("malformed criterion id") from None
+                    if not options:
+                        raise BadRequestError("empty criteria group")
+                    # Reverse-table hits are valid option ids by construction.
+                    clause = clause_cache[key] = Clause._of(options)
+                clauses.append(clause)
 
         cap = None
         if _F_FREQ_CAP in body:
@@ -180,7 +248,7 @@ class GoogleWireCodec:
             country=country,
             genders=genders,
             age_ranges=ages,
-            clauses=tuple(Clause(group) for group in clauses),
+            clauses=tuple(clauses),
         )
         return spec, cap, objective
 
@@ -194,3 +262,78 @@ class GoogleWireCodec:
             return int(body[_F_ESTIMATE_WRAPPER][_F_ESTIMATE_VALUE])
         except (KeyError, TypeError, ValueError):
             raise BadRequestError("malformed Google response") from None
+
+    # -- batch envelope ----------------------------------------------------
+
+    @staticmethod
+    def encode_batch_request(items: list[dict[str, Any]]) -> dict[str, Any]:
+        """Wrap per-item request bodies under the opaque batch key."""
+        return {_F_BATCH: list(items)}
+
+    @staticmethod
+    def decode_batch_request(body: Mapping[str, Any]) -> list[Mapping[str, Any]]:
+        items = body.get(_F_BATCH)
+        if not isinstance(items, list) or not items:
+            raise BadRequestError("missing or empty batch payload")
+        if len(items) > MAX_BATCH_SIZE:
+            raise BadRequestError(
+                f"batch size {len(items)} exceeds maximum {MAX_BATCH_SIZE}"
+            )
+        return items
+
+    @staticmethod
+    def batch_item_ok(result: Mapping[str, Any]) -> dict[str, Any]:
+        return {_F_ITEM_OK: dict(result)}
+
+    @staticmethod
+    def batch_item_error(
+        status: int, message: str, kind: str | None = None
+    ) -> dict[str, Any]:
+        error: dict[str, Any] = {
+            _F_ERR_STATUS: int(status),
+            _F_ERR_MESSAGE: str(message),
+        }
+        if kind is not None:
+            error[_F_ERR_KIND] = kind
+        return {_F_ITEM_ERROR: error}
+
+    @staticmethod
+    def encode_batch_response(results: list[dict[str, Any]]) -> dict[str, Any]:
+        return {_F_BATCH: results}
+
+    @staticmethod
+    def decode_batch_response(
+        body: Mapping[str, Any], expected: int
+    ) -> list[tuple[Mapping[str, Any] | None, tuple[int, str, str | None] | None]]:
+        """Per-item ``(result, error)`` pairs, exactly one side set.
+
+        ``error`` is a ``(status, message, kind)`` triple the client
+        maps back onto its exception taxonomy.
+        """
+        entries = body.get(_F_BATCH)
+        if not isinstance(entries, list) or len(entries) != expected:
+            raise BadRequestError("malformed Google batch response")
+        out: list[
+            tuple[Mapping[str, Any] | None, tuple[int, str, str | None] | None]
+        ] = []
+        for entry in entries:
+            if not isinstance(entry, Mapping):
+                raise BadRequestError("malformed Google batch entry")
+            if _F_ITEM_ERROR in entry:
+                raw = entry[_F_ITEM_ERROR]
+                try:
+                    triple = (
+                        int(raw[_F_ERR_STATUS]),
+                        str(raw[_F_ERR_MESSAGE]),
+                        raw.get(_F_ERR_KIND),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    raise BadRequestError(
+                        "malformed Google batch error entry"
+                    ) from None
+                out.append((None, triple))
+            elif _F_ITEM_OK in entry:
+                out.append((entry[_F_ITEM_OK], None))
+            else:
+                raise BadRequestError("malformed Google batch entry")
+        return out

@@ -49,16 +49,22 @@ class TokenBucket:
         self._refill()
         return self._tokens
 
-    def try_acquire(self, tokens: float = 1.0) -> float:
+    def try_acquire(self, tokens: float = 1.0, clamp: bool = False) -> float:
         """Take ``tokens`` if available.
 
         Returns 0.0 on success, otherwise the seconds to wait before
         retrying (the caller advances the virtual clock by that much).
+        ``clamp=True`` caps the request at the bucket capacity instead
+        of raising -- used for batch requests whose cost formula can
+        exceed ``burst`` (a full-capacity drain is the most a single
+        request can be charged).
         """
         if tokens <= 0:
             raise ValueError("tokens must be positive")
         if tokens > self.burst:
-            raise ValueError("cannot acquire more than the bucket capacity")
+            if not clamp:
+                raise ValueError("cannot acquire more than the bucket capacity")
+            tokens = float(self.burst)
         self._refill()
         if self._tokens >= tokens:
             self._tokens -= tokens

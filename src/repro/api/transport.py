@@ -75,6 +75,10 @@ class HttpResponse:
 
 Handler = Callable[[HttpRequest], Mapping[str, Any]]
 
+#: Token cost of one request: a constant, or a callable inspecting the
+#: request (batch endpoints charge by batch size).
+CostSpec = float | Callable[[HttpRequest], float]
+
 
 @dataclass
 class _RouteStats:
@@ -111,23 +115,50 @@ class FakeTransport:
         self._rate = rate
         self._burst = burst
         self._routes: dict[tuple[str, str], Handler] = {}
+        self._costs: dict[tuple[str, str], CostSpec] = {}
         self._buckets: dict[str, TokenBucket] = {}
         self._stats: dict[tuple[str, str], _RouteStats] = {}
         self.total_requests = 0
 
     # -- wiring -----------------------------------------------------------
 
-    def register(self, method: str, path: str, handler: Handler) -> None:
-        """Mount a handler; re-registering a route raises."""
+    def register(
+        self,
+        method: str,
+        path: str,
+        handler: Handler,
+        cost: CostSpec | None = None,
+    ) -> None:
+        """Mount a handler; re-registering a route raises.
+
+        ``cost`` sets the route's rate-limit token cost: a constant or
+        a per-request callable (batch endpoints charge per item).
+        Routes default to one token per request.
+        """
         key = (method.upper(), path)
         if key in self._routes:
             raise ValueError(f"route {key} already registered")
         self._routes[key] = handler
+        if cost is not None:
+            self._costs[key] = cost
         self._stats[key] = _RouteStats()
 
     def routes(self) -> list[tuple[str, str]]:
         """Registered (method, path) pairs."""
         return sorted(self._routes)
+
+    def _cost(self, key: tuple[str, str], request: HttpRequest) -> float:
+        spec = self._costs.get(key)
+        if spec is None:
+            return 1.0
+        if callable(spec):
+            try:
+                return max(1.0, float(spec(request)))
+            except Exception:
+                # Malformed bodies are the handler's problem (it returns
+                # a 400); charge the base cost.
+                return 1.0
+        return max(1.0, float(spec))
 
     def _bucket(self, account: str) -> TokenBucket | None:
         if self._rate is None:
@@ -157,7 +188,7 @@ class FakeTransport:
 
         bucket = self._bucket(request.account)
         if bucket is not None:
-            retry_after = bucket.try_acquire()
+            retry_after = bucket.try_acquire(self._cost(key, request), clamp=True)
             if retry_after > 0:
                 stats.rate_limited += 1
                 return HttpResponse(

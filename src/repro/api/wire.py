@@ -15,7 +15,16 @@ from repro.platforms.errors import BadRequestError
 from repro.platforms.targeting import Clause, TargetingSpec
 from repro.population.demographics import AGE_RANGES, Gender
 
-__all__ = ["FacebookWireCodec", "LinkedInWireCodec"]
+__all__ = [
+    "MAX_BATCH_SIZE",
+    "BatchEnvelope",
+    "FacebookWireCodec",
+    "LinkedInWireCodec",
+]
+
+#: Maximum targeting specs one batch request may carry; the server-side
+#: batch endpoints reject larger payloads and the clients chunk to it.
+MAX_BATCH_SIZE = 64
 
 _FB_GENDER_CODES = {Gender.MALE: 1, Gender.FEMALE: 2}
 _FB_GENDER_DECODE = {v: k for k, v in _FB_GENDER_CODES.items()}
@@ -24,6 +33,76 @@ _AGE_TO_BOUNDS = {a: list(a.bounds) for a in AGE_RANGES}
 _BOUNDS_TO_AGE = {tuple(v): k for k, v in _AGE_TO_BOUNDS.items()}
 
 _LI_FACET_PREFIX = "urn:li:adTargetingFacet:"
+
+# Decoded-clause interning: audits resend the same option groups across
+# thousands of batch items (one per demographic slice), so each raw
+# group tuple is parsed and validated once.  Facebook interests and
+# LinkedIn facet URNs are cached separately -- the URN prefix must be
+# stripped on the LinkedIn path, so the same raw strings decode
+# differently per platform.
+_CLAUSE_CACHE_LIMIT = 65536
+_FB_CLAUSES: dict[tuple, Clause] = {}
+_LI_CLAUSES: dict[tuple, Clause] = {}
+
+
+def _cached_clause(cache: dict, key: tuple, options: list[str]) -> Clause:
+    clause = Clause(options)
+    if len(cache) >= _CLAUSE_CACHE_LIMIT:
+        cache.clear()
+    cache[key] = clause
+    return clause
+
+
+class BatchEnvelope:
+    """Plain-JSON batch envelope shared by Facebook and LinkedIn.
+
+    A batch request wraps up to :data:`MAX_BATCH_SIZE` single-estimate
+    bodies under ``batch``; the response carries one entry per item,
+    either ``{"result": <single response>}`` or ``{"error": {"status",
+    "error", "kind"}}`` so one bad spec never fails the whole batch.
+    """
+
+    @staticmethod
+    def encode_request(items: list[dict[str, Any]]) -> dict[str, Any]:
+        return {"batch": list(items)}
+
+    @staticmethod
+    def decode_request(body: Mapping[str, Any]) -> list[Mapping[str, Any]]:
+        items = body.get("batch")
+        if not isinstance(items, list) or not items:
+            raise BadRequestError("missing or empty 'batch' list")
+        if len(items) > MAX_BATCH_SIZE:
+            raise BadRequestError(
+                f"batch size {len(items)} exceeds maximum {MAX_BATCH_SIZE}"
+            )
+        return items
+
+    @staticmethod
+    def item_ok(result: Mapping[str, Any]) -> dict[str, Any]:
+        return {"result": dict(result)}
+
+    @staticmethod
+    def item_error(
+        status: int, message: str, kind: str | None = None
+    ) -> dict[str, Any]:
+        error: dict[str, Any] = {"status": int(status), "error": str(message)}
+        if kind is not None:
+            error["kind"] = kind
+        return {"error": error}
+
+    @staticmethod
+    def encode_response(results: list[dict[str, Any]]) -> dict[str, Any]:
+        return {"results": results}
+
+    @staticmethod
+    def decode_response(
+        body: Mapping[str, Any], expected: int
+    ) -> list[Mapping[str, Any]]:
+        """The per-item entries, validated against the request length."""
+        results = body.get("results")
+        if not isinstance(results, list) or len(results) != expected:
+            raise BadRequestError("malformed batch response")
+        return results
 
 
 class FacebookWireCodec:
@@ -40,16 +119,25 @@ class FacebookWireCodec:
         }
         targeting = body["targeting_spec"]
         if spec.genders is not None:
-            targeting["genders"] = sorted(
-                _FB_GENDER_CODES[g] for g in spec.genders
-            )
+            codes = [_FB_GENDER_CODES[g] for g in spec.genders]
+            if len(codes) > 1:
+                codes.sort()
+            targeting["genders"] = codes
         if spec.age_ranges is not None:
-            targeting["age_ranges"] = sorted(
-                _AGE_TO_BOUNDS[a] for a in spec.age_ranges
-            )
+            bounds = [_AGE_TO_BOUNDS[a] for a in spec.age_ranges]
+            if len(bounds) > 1:
+                bounds.sort()
+            targeting["age_ranges"] = bounds
         if spec.clauses:
+            # Single-interest clauses dominate audit traffic; sorting a
+            # one-element list per clause is pure overhead.
             targeting["flexible_spec"] = [
-                {"interests": sorted(clause.options)} for clause in spec.clauses
+                {
+                    "interests": list(clause.options)
+                    if len(clause.options) == 1
+                    else sorted(clause.options)
+                }
+                for clause in spec.clauses
             ]
         if spec.exclusions:
             targeting["exclusions"] = {"interests": sorted(spec.exclusions)}
@@ -90,7 +178,12 @@ class FacebookWireCodec:
         clauses = []
         for flex in targeting.get("flexible_spec", []):
             try:
-                clauses.append(Clause(flex["interests"]))
+                interests = flex["interests"]
+                key = tuple(interests)
+                clause = _FB_CLAUSES.get(key)
+                if clause is None:
+                    clause = _cached_clause(_FB_CLAUSES, key, interests)
+                clauses.append(clause)
             except (KeyError, TypeError, ValueError):
                 raise BadRequestError("malformed flexible_spec entry") from None
         exclusions = frozenset(
@@ -134,7 +227,9 @@ class LinkedInWireCodec:
     def encode_request(cls, spec: TargetingSpec) -> dict[str, Any]:
         include = {
             "and": [
-                {"or": sorted(cls._facet(o) for o in clause.options)}
+                {"or": [_LI_FACET_PREFIX + next(iter(clause.options))]}
+                if len(clause.options) == 1
+                else {"or": sorted(cls._facet(o) for o in clause.options)}
                 for clause in spec.clauses
             ]
         }
@@ -167,7 +262,14 @@ class LinkedInWireCodec:
         clauses = []
         for term in and_terms:
             try:
-                clauses.append(Clause(cls._unfacet(u) for u in term["or"]))
+                urns = term["or"]
+                key = tuple(urns)
+                clause = _LI_CLAUSES.get(key)
+                if clause is None:
+                    clause = _cached_clause(
+                        _LI_CLAUSES, key, [cls._unfacet(u) for u in urns]
+                    )
+                clauses.append(clause)
             except (KeyError, TypeError, ValueError):
                 raise BadRequestError("malformed include.and term") from None
         exclusions = frozenset(

@@ -70,7 +70,20 @@ class AuditTarget:
         self.name = name
         self.client = client
         self.measure_client = measure_client or client
-        self._cache: dict[tuple[str, TargetingSpec], int] = {}
+        # Estimate cache, sharded per interface key: specs are hashed
+        # on every lookup of the audit's hot loop, so the shard layout
+        # avoids allocating and hashing a (key, spec) tuple per lookup.
+        self._cache: dict[str, dict[TargetingSpec, int]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        # Spec-construction memos: demographic slicing builds the same
+        # refined specs for every audit of a composition, and the base
+        # sizes |RA_v| are shared by every audit record.
+        self._audit_slices: dict[
+            tuple[TargetingSpec, str], list[tuple[SensitiveValue, TargetingSpec]]
+        ] = {}
+        self._base_sizes: dict[str, dict[SensitiveValue, int]] = {}
+        self._composition_specs: dict[tuple[str, ...], TargetingSpec] = {}
         self._features: dict[str, str] | None = None
         # Keyed by (enum type, value): Gender and AgeRange are IntEnums
         # with overlapping raw values, so they cannot share a plain dict.
@@ -94,14 +107,15 @@ class AuditTarget:
         """Display names keyed by option id."""
         return self.client.option_names()
 
-    def _feature_of(self, option_id: str) -> str:
+    def feature_of(self, option_id: str) -> str:
+        """Feature of a catalog option (catalog loaded once, lazily)."""
         if self._features is None:
             self._features = {o.option_id: o.feature for o in self.client.catalog()}
         return self._features[option_id]
 
     def features(self) -> list[str]:
         """Distinct composable features among the study options."""
-        return sorted({self._feature_of(o) for o in self.study_option_ids()})
+        return sorted({self.feature_of(o) for o in self.study_option_ids()})
 
     # -- composition rules ---------------------------------------------------
 
@@ -115,17 +129,21 @@ class AuditTarget:
         if len(set(options)) != len(options):
             return False
         if self.cross_feature_only:
-            features = [self._feature_of(o) for o in options]
+            features = [self.feature_of(o) for o in options]
             return len(set(features)) == len(features)
         return True
 
     def composition_spec(self, options: Sequence[str]) -> TargetingSpec:
-        """AND-composition targeting spec over the given options."""
-        if not self.can_compose(options):
-            raise UnsupportedCompositionError(
-                f"{self.name} cannot AND-compose {list(options)}"
-            )
-        return TargetingSpec.of(*options)
+        """AND-composition targeting spec over the given options (memoised)."""
+        key = tuple(options)
+        cached = self._composition_specs.get(key)
+        if cached is None:
+            if not self.can_compose(key):
+                raise UnsupportedCompositionError(
+                    f"{self.name} cannot AND-compose {list(key)}"
+                )
+            cached = self._composition_specs[key] = TargetingSpec.of(*key)
+        return cached
 
     # -- demographic slicing ---------------------------------------------
 
@@ -166,6 +184,14 @@ class AuditTarget:
         """
         if value is None:
             return spec
+        return self._build_demographic_spec(spec, value, exclude)
+
+    def _build_demographic_spec(
+        self,
+        spec: TargetingSpec,
+        value: SensitiveValue,
+        exclude: bool,
+    ) -> TargetingSpec:
         values = self._complement_values(value) if exclude else [value]
         if self._demographics_via_facets:
             return spec.and_clause(
@@ -174,16 +200,42 @@ class AuditTarget:
         if isinstance(value, Gender):
             return spec.with_gender(values[0]) if len(values) == 1 else spec
         if isinstance(value, AgeRange):
+            if len(values) == 1:
+                return spec.with_age(values[0])
             return spec.with_ages(values)
         raise TypeError(f"not a sensitive value: {value!r}")
 
     # -- measurement -----------------------------------------------------------
 
     def _measure(self, client: ReachClient, spec: TargetingSpec) -> int:
-        key = (client.interface_key, spec)
-        if key not in self._cache:
-            self._cache[key] = client.estimate(spec)
-        return self._cache[key]
+        shard = self._cache.get(client.interface_key)
+        if shard is None:
+            shard = self._cache[client.interface_key] = {}
+        cached = shard.get(spec)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        result = shard[spec] = client.estimate(spec)
+        return result
+
+    def _slices(
+        self, spec: TargetingSpec, attribute: SensitiveAttribute
+    ) -> list[tuple[SensitiveValue, TargetingSpec]]:
+        """Memoised ``(value, demographically sliced spec)`` pairs.
+
+        Both the query planner and the audit loop walk a composition's
+        demographic slices; memoising the whole list costs one dict hit
+        instead of one per value.
+        """
+        key = (spec, attribute.name)
+        cached = self._audit_slices.get(key)
+        if cached is None:
+            cached = self._audit_slices[key] = [
+                (v, self._build_demographic_spec(spec, v, False))
+                for v in attribute.values
+            ]
+        return cached
 
     def measure(
         self,
@@ -199,9 +251,19 @@ class AuditTarget:
     def base_sizes(
         self, attribute: SensitiveAttribute
     ) -> dict[SensitiveValue, int]:
-        """``|RA_v|`` for every value of the sensitive attribute."""
-        everyone = TargetingSpec.everyone()
-        return {v: self.measure(everyone, v) for v in attribute.values}
+        """``|RA_v|`` for every value of the sensitive attribute.
+
+        Measured once per attribute and memoised -- every audit record
+        carries these, so they are hoisted out of the per-audit loop.
+        Callers get a fresh copy.
+        """
+        cached = self._base_sizes.get(attribute.name)
+        if cached is None:
+            everyone = TargetingSpec.everyone()
+            cached = self._base_sizes[attribute.name] = {
+                v: self.measure(everyone, v) for v in attribute.values
+            }
+        return dict(cached)
 
     def audit(
         self, options: Sequence[str], attribute: SensitiveAttribute
@@ -217,7 +279,11 @@ class AuditTarget:
             # Facebook-restricted path: confirm the restricted interface
             # accepts this exact targeting before measuring elsewhere.
             self._measure(self.client, spec)
-        sizes = {v: self.measure(spec, v) for v in attribute.values}
+        measure_client = self.measure_client
+        sizes = {
+            v: self._measure(measure_client, sliced)
+            for v, sliced in self._slices(spec, attribute)
+        }
         return TargetingAudit(
             options=tuple(options),
             attribute=attribute,
@@ -225,19 +291,102 @@ class AuditTarget:
             bases=self.base_sizes(attribute),
         )
 
+    #: Whether :meth:`audit_many` plans batched size queries by default.
+    batch_queries: bool = True
+
+    def _plan_queries(
+        self,
+        compositions: Sequence[tuple[str, ...]],
+        attribute: SensitiveAttribute,
+    ) -> list[tuple[ReachClient, TargetingSpec]]:
+        """Every uncached size query an audit batch needs, in first-use
+        order, deduped against the spec cache and within the plan.
+
+        Base sizes are hoisted to the front -- every audit record needs
+        them, so they dedupe to one query per sensitive value.  When an
+        inexpressible composition would make the sequential path raise,
+        only the prefix before it is planned; the scatter pass then
+        raises at the same composition.
+        """
+        measure_client = self.measure_client
+        validate_client = self.client if measure_client is not self.client else None
+
+        measured: list[TargetingSpec] = []
+        validated: list[TargetingSpec] = []
+        slices = self._slices
+        everyone = TargetingSpec.everyone()
+        measured.extend(s for _v, s in slices(everyone, attribute))
+        for options in compositions:
+            try:
+                spec = self.composition_spec(options)
+            except UnsupportedCompositionError:
+                break
+            if validate_client is not None:
+                validated.append(spec)
+            measured.extend(s for _v, s in slices(spec, attribute))
+
+        # Dedup in first-use order at C level, then drop cached specs.
+        plan: list[tuple[ReachClient, TargetingSpec]] = []
+        if validate_client is not None:
+            validate_shard = self._cache.setdefault(
+                validate_client.interface_key, {}
+            )
+            plan.extend(
+                (validate_client, s)
+                for s in dict.fromkeys(validated)
+                if s not in validate_shard
+            )
+        measure_shard = self._cache.setdefault(measure_client.interface_key, {})
+        plan.extend(
+            (measure_client, s)
+            for s in dict.fromkeys(measured)
+            if s not in measure_shard
+        )
+        return plan
+
+    def _dispatch_plan(
+        self, plan: Sequence[tuple[ReachClient, TargetingSpec]]
+    ) -> None:
+        """Fetch a plan's estimates in batched calls, one pass per client.
+
+        Successful estimates land in the spec cache; per-item errors
+        are left uncached, so the scatter pass re-issues that single
+        call and raises exactly where the sequential path would.
+        """
+        by_client: dict[str, tuple[ReachClient, list[TargetingSpec]]] = {}
+        for client, spec in plan:
+            by_client.setdefault(client.interface_key, (client, []))[1].append(spec)
+        for client, specs in by_client.values():
+            shard = self._cache.setdefault(client.interface_key, {})
+            for spec, result in zip(specs, client.estimate_many(specs)):
+                if isinstance(result, int):
+                    shard[spec] = result
+
     def audit_many(
         self,
         compositions: Iterable[Sequence[str]],
         attribute: SensitiveAttribute,
         skip_uncomposable: bool = True,
+        batched: bool | None = None,
     ) -> list[TargetingAudit]:
-        """Audit a batch, optionally skipping inexpressible compositions."""
-        audits = []
-        for options in compositions:
-            if skip_uncomposable and not self.can_compose(options):
-                continue
-            audits.append(self.audit(options, attribute))
-        return audits
+        """Audit a batch, optionally skipping inexpressible compositions.
+
+        With ``batched`` (the default, from :attr:`batch_queries`), the
+        whole batch is planned up front: compositions expand into their
+        demographic-sliced size queries, duplicates collapse against
+        the spec cache, and each client fetches its remaining specs
+        through the platform's batch endpoint in one pass.  The audits
+        are then assembled from the warmed cache, so the records are
+        identical to the sequential path's.
+        """
+        compositions = [tuple(options) for options in compositions]
+        if skip_uncomposable:
+            compositions = [o for o in compositions if self.can_compose(o)]
+        if batched is None:
+            batched = self.batch_queries
+        if batched:
+            self._dispatch_plan(self._plan_queries(compositions, attribute))
+        return [self.audit(options, attribute) for options in compositions]
 
     # -- boolean combinations (overlap / union analyses) ----------------------
 
@@ -282,11 +431,15 @@ class AuditTarget:
     @property
     def cache_size(self) -> int:
         """Distinct size queries cached so far."""
-        return len(self._cache)
+        return sum(len(shard) for shard in self._cache.values())
 
     def cached_estimates(self) -> list[int]:
         """Every distinct estimate observed so far (granularity study)."""
-        return list(self._cache.values())
+        return [
+            estimate
+            for shard in self._cache.values()
+            for estimate in shard.values()
+        ]
 
     def __repr__(self) -> str:
         return f"<AuditTarget {self.key} cached={self.cache_size}>"

@@ -88,18 +88,28 @@ def random_compositions(
     """
     rng = np.random.default_rng(seed)
     options = list(option_ids or target.study_option_ids())
-    if len(options) < arity:
+    n_options = len(options)
+    if n_options < arity:
         raise ValueError("not enough options to compose")
     chosen: set[tuple[str, ...]] = set()
     attempts = 0
     max_attempts = 200 * n
     while len(chosen) < n and attempts < max_attempts:
-        attempts += 1
-        picks = rng.choice(len(options), size=arity, replace=False)
-        combo = tuple(sorted(options[i] for i in picks))
-        if combo in chosen or not target.can_compose(combo):
-            continue
-        chosen.add(combo)
+        # Draw a whole block of candidate index tuples per rng call;
+        # rows with a repeated index are rejected, leaving each
+        # surviving row uniform over the distinct arity-subsets.
+        block = min(max(256, 4 * (n - len(chosen))), max_attempts - attempts)
+        attempts += block
+        draws = rng.integers(0, n_options, size=(block, arity))
+        ordered = np.sort(draws, axis=1)
+        keep = (ordered[:, 1:] != ordered[:, :-1]).all(axis=1)
+        for row in draws[keep]:
+            combo = tuple(sorted(options[i] for i in row))
+            if combo in chosen or not target.can_compose(combo):
+                continue
+            chosen.add(combo)
+            if len(chosen) >= n:
+                break
     audits = target.audit_many(sorted(chosen), attribute)
     return CompositionSet(label or f"Random {arity}-way", audits)
 
@@ -159,7 +169,7 @@ def greedy_candidates(
             )
         by_feature: dict[str, list[str]] = {}
         for option in ranked:
-            by_feature.setdefault(target._feature_of(option), []).append(option)
+            by_feature.setdefault(target.feature_of(option), []).append(option)
         features = sorted(by_feature, key=lambda f: -len(by_feature[f]))[:2]
         if len(features) < 2:
             return []

@@ -64,8 +64,22 @@ class TargetingAudit:
         return int(sum(self.sizes.values()))
 
     def ratio(self, value: SensitiveValue) -> float:
-        """Representation ratio toward ``value`` (Equation 1)."""
-        return representation_ratio_from_sizes(self.sizes, self.bases, value)
+        """Representation ratio toward ``value`` (Equation 1, memoised).
+
+        Ranking, panel building, and the four-fifths checks all revisit
+        the same ratios; the sizes are frozen, so each is computed once.
+        """
+        try:
+            memo = self._ratio_memo  # type: ignore[attr-defined]
+        except AttributeError:
+            memo = {}
+            object.__setattr__(self, "_ratio_memo", memo)
+        if value in memo:
+            return memo[value]
+        result = memo[value] = representation_ratio_from_sizes(
+            self.sizes, self.bases, value
+        )
+        return result
 
     def recall(self, value: SensitiveValue) -> int:
         """Recall when selectively including ``value``."""

@@ -116,7 +116,7 @@ class GoogleDisplayInterface(AdPlatformInterface):
                 "custom_audiences"
                 if self.has_audience(o)
                 else self.option_entry(o).feature
-                for o in clause
+                for o in clause.options
             }
             if len(features) > 1:
                 raise UnsupportedCompositionError(
@@ -148,6 +148,26 @@ class GoogleDisplayInterface(AdPlatformInterface):
             return super().estimate_reach(spec, objective)
         finally:
             self._frequency_cap = None
+
+    def estimate_value(
+        self,
+        spec: TargetingSpec,
+        objective: str | None = None,
+        frequency_cap: FrequencyCap | None = None,
+    ) -> int:
+        """Rounded impressions estimate (batch endpoints' fast path).
+
+        Leaves an already-installed cap alone so the estimate_reach
+        path, which sets ``_frequency_cap`` before delegating here, is
+        not clobbered.
+        """
+        if frequency_cap is not None:
+            self._frequency_cap = frequency_cap
+        try:
+            return super().estimate_value(spec, objective)
+        finally:
+            if frequency_cap is not None:
+                self._frequency_cap = None
 
     def _estimate_value(self, exact_users: float, objective: str) -> float:
         cap = getattr(self, "_frequency_cap", None)
@@ -201,6 +221,12 @@ class GoogleSearchCampaign(AdPlatformInterface):
             "Google shows no audience size statistics for boolean "
             "combinations of user attributes on search-product campaigns"
         )
+
+    def estimate_value(
+        self, spec: TargetingSpec, objective: str | None = None
+    ) -> int:
+        self.estimate_reach(spec, objective)
+        raise AssertionError("unreachable")
 
 
 class GooglePlatform:

@@ -22,13 +22,20 @@ from repro.population.demographics import AgeRange, Gender
 
 __all__ = ["Clause", "TargetingSpec", "spec_intersection"]
 
+# Single-value demographic frozensets, interned: audits build one
+# demographic slice per (composition, value) pair, so these tiny sets
+# are requested hundreds of thousands of times.
+_SINGLE_GENDER = {g: frozenset({g}) for g in Gender}
+_SINGLE_AGE = {a: frozenset({a}) for a in AgeRange}
+
 
 def _frozen_options(options: Iterable[str]) -> frozenset[str]:
-    opts = frozenset(options)
+    opts = options if type(options) is frozenset else frozenset(options)
     if not opts:
         raise ValueError("a clause must contain at least one option")
-    if not all(isinstance(o, str) and o for o in opts):
-        raise TypeError("option identifiers must be non-empty strings")
+    for o in opts:
+        if not isinstance(o, str) or not o:
+            raise TypeError("option identifiers must be non-empty strings")
     return opts
 
 
@@ -43,6 +50,23 @@ class Clause:
 
     def __init__(self, options: Iterable[str]):
         object.__setattr__(self, "options", _frozen_options(options))
+
+    def __hash__(self) -> int:
+        # The option frozenset caches its own hash; avoid the generated
+        # dataclass hash's per-call tuple allocation.
+        return hash(self.options)
+
+    @classmethod
+    def _of(cls, options: frozenset[str]) -> "Clause":
+        """Wrap an already-validated, non-empty option frozenset.
+
+        Server-side codecs resolve options through catalog tables, so
+        every member is known to be a valid identifier; re-checking each
+        one per decoded batch item would dominate decode time.
+        """
+        clause = object.__new__(cls)
+        object.__setattr__(clause, "options", options)
+        return clause
 
     def __len__(self) -> int:
         return len(self.options)
@@ -84,16 +108,41 @@ class TargetingSpec:
     exclusions: frozenset[str] = frozenset()
 
     def __post_init__(self) -> None:
+        # Specs are built on the audit's hottest path, usually from
+        # already-frozen fields; only convert (and re-assign through the
+        # frozen-dataclass barrier) when a field needs it.
         if self.genders is not None:
-            object.__setattr__(self, "genders", frozenset(self.genders))
+            if type(self.genders) is not frozenset:
+                object.__setattr__(self, "genders", frozenset(self.genders))
             if not self.genders:
                 raise ValueError("genders must be None or non-empty")
         if self.age_ranges is not None:
-            object.__setattr__(self, "age_ranges", frozenset(self.age_ranges))
+            if type(self.age_ranges) is not frozenset:
+                object.__setattr__(self, "age_ranges", frozenset(self.age_ranges))
             if not self.age_ranges:
                 raise ValueError("age_ranges must be None or non-empty")
-        object.__setattr__(self, "clauses", tuple(self.clauses))
-        object.__setattr__(self, "exclusions", frozenset(self.exclusions))
+        if type(self.clauses) is not tuple:
+            object.__setattr__(self, "clauses", tuple(self.clauses))
+        if type(self.exclusions) is not frozenset:
+            object.__setattr__(self, "exclusions", frozenset(self.exclusions))
+
+    def __hash__(self) -> int:
+        # Specs key every measurement cache, so they are hashed far
+        # more often than built; compute the field-tuple hash once.
+        try:
+            return self._hash  # type: ignore[attr-defined]
+        except AttributeError:
+            value = hash(
+                (
+                    self.country,
+                    self.genders,
+                    self.age_ranges,
+                    self.clauses,
+                    self.exclusions,
+                )
+            )
+            object.__setattr__(self, "_hash", value)
+            return value
 
     # -- constructors ------------------------------------------------------
 
@@ -106,7 +155,7 @@ class TargetingSpec:
     def of(cls, *option_ids: str, country: str = "US") -> "TargetingSpec":
         """Logical-and of single options (each its own clause)."""
         return cls(
-            country=country, clauses=tuple(Clause([o]) for o in option_ids)
+            country=country, clauses=tuple([Clause([o]) for o in option_ids])
         )
 
     @classmethod
@@ -118,25 +167,64 @@ class TargetingSpec:
 
     # -- refinement --------------------------------------------------------
 
+    def _derive(
+        self,
+        genders: "frozenset[Gender] | None",
+        age_ranges: "frozenset[AgeRange] | None",
+        clauses: "tuple[Clause, ...]",
+        exclusions: "frozenset[str]",
+    ) -> "TargetingSpec":
+        """Construct a sibling spec from already-frozen fields.
+
+        Refinements derive from an existing (validated, frozen) spec,
+        so re-running ``__init__``'s conversions and checks per derived
+        slice would dominate audit-side spec construction.
+        """
+        spec = object.__new__(TargetingSpec)
+        set_field = object.__setattr__
+        set_field(spec, "country", self.country)
+        set_field(spec, "genders", genders)
+        set_field(spec, "age_ranges", age_ranges)
+        set_field(spec, "clauses", clauses)
+        set_field(spec, "exclusions", exclusions)
+        return spec
+
     def with_gender(self, gender: Gender) -> "TargetingSpec":
         """Restrict to a single gender (platform demographic targeting)."""
-        return replace(self, genders=frozenset({gender}))
+        return self._derive(
+            _SINGLE_GENDER[gender], self.age_ranges, self.clauses, self.exclusions
+        )
 
     def with_age(self, age: AgeRange) -> "TargetingSpec":
         """Restrict to a single age range."""
-        return replace(self, age_ranges=frozenset({age}))
+        return self._derive(
+            self.genders, _SINGLE_AGE[age], self.clauses, self.exclusions
+        )
 
     def with_ages(self, ages: Iterable[AgeRange]) -> "TargetingSpec":
         """Restrict to a set of age ranges."""
-        return replace(self, age_ranges=frozenset(ages))
+        ages = frozenset(ages)
+        if not ages:
+            raise ValueError("age_ranges must be None or non-empty")
+        return self._derive(self.genders, ages, self.clauses, self.exclusions)
 
     def and_option(self, option_id: str) -> "TargetingSpec":
         """AND one more single-option clause onto the rule."""
-        return replace(self, clauses=self.clauses + (Clause([option_id]),))
+        return self._derive(
+            self.genders,
+            self.age_ranges,
+            self.clauses + (Clause([option_id]),),
+            self.exclusions,
+        )
 
     def and_clause(self, options: Iterable[str]) -> "TargetingSpec":
         """AND one more OR-clause onto the rule."""
-        return replace(self, clauses=self.clauses + (Clause(options),))
+        return self._derive(
+            self.genders,
+            self.age_ranges,
+            self.clauses + (Clause(options),),
+            self.exclusions,
+        )
 
     def excluding(self, *option_ids: str) -> "TargetingSpec":
         """Exclude holders of the given options."""
@@ -146,11 +234,16 @@ class TargetingSpec:
 
     @property
     def option_ids(self) -> frozenset[str]:
-        """Every option referenced anywhere in the rule."""
-        ids: set[str] = set(self.exclusions)
-        for clause in self.clauses:
-            ids |= clause.options
-        return frozenset(ids)
+        """Every option referenced anywhere in the rule (memoised)."""
+        try:
+            return self._option_ids  # type: ignore[attr-defined]
+        except AttributeError:
+            ids: set[str] = set(self.exclusions)
+            for clause in self.clauses:
+                ids |= clause.options
+            frozen = frozenset(ids)
+            object.__setattr__(self, "_option_ids", frozen)
+            return frozen
 
     @property
     def is_pure_demographic(self) -> bool:

@@ -21,7 +21,7 @@ The two public types are:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping
+from typing import Dict, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -72,6 +72,22 @@ class BitVector:
         self._count = _count
 
     # -- constructors --------------------------------------------------
+
+    @classmethod
+    def _raw(
+        cls, words: np.ndarray, n: int, count: int | None = None
+    ) -> "BitVector":
+        """Wrap trusted words without re-validating shape or dtype.
+
+        Internal fast path for operator results, whose word arrays are
+        correct by construction; set-algebra ops sit on the audit's
+        hottest path.
+        """
+        vec = object.__new__(cls)
+        vec._words = words
+        vec._n = n
+        vec._count = count
+        return vec
 
     @classmethod
     def from_bool(cls, mask: np.ndarray) -> "BitVector":
@@ -148,27 +164,27 @@ class BitVector:
 
     def __and__(self, other: "BitVector") -> "BitVector":
         self._check_compatible(other)
-        return BitVector(self._words & other._words, self._n)
+        return BitVector._raw(self._words & other._words, self._n)
 
     def __or__(self, other: "BitVector") -> "BitVector":
         self._check_compatible(other)
-        return BitVector(self._words | other._words, self._n)
+        return BitVector._raw(self._words | other._words, self._n)
 
     def __xor__(self, other: "BitVector") -> "BitVector":
         self._check_compatible(other)
-        return BitVector(self._words ^ other._words, self._n)
+        return BitVector._raw(self._words ^ other._words, self._n)
 
     def __invert__(self) -> "BitVector":
         words = ~self._words
         if words.size:
             words[-1] = words[-1] & _tail_mask(self._n)
         count = None if self._count is None else self._n - self._count
-        return BitVector(words, self._n, _count=count)
+        return BitVector._raw(words, self._n, count)
 
     def difference(self, other: "BitVector") -> "BitVector":
         """Records in ``self`` but not ``other``."""
         self._check_compatible(other)
-        return BitVector(self._words & ~other._words, self._n)
+        return BitVector._raw(self._words & ~other._words, self._n)
 
     def intersect_count(self, other: "BitVector") -> int:
         """Popcount of the intersection without materialising it."""
@@ -206,6 +222,28 @@ def intersect_all(vectors: Iterable[BitVector]) -> BitVector:
     return acc
 
 
+def intersect_counts(
+    vectors: Sequence[BitVector], mask: BitVector | None = None
+) -> list[int]:
+    """Popcounts of ``v & mask`` for many same-length vectors at once.
+
+    Stacks the word arrays and popcounts in one vectorised 2-D pass.
+    Batch endpoints size dozens of audiences per request; counting them
+    one by one would pay numpy dispatch overhead per audience, which
+    dominates at typical population sizes.
+    """
+    if not vectors:
+        return []
+    if len(vectors) == 1:
+        v = vectors[0]
+        return [v.count() if mask is None else v.intersect_count(mask)]
+    words = np.stack([v._words for v in vectors])
+    if mask is not None:
+        vectors[0]._check_compatible(mask)
+        words = words & mask._words
+    return np.bitwise_count(words).sum(axis=1, dtype=np.int64).tolist()
+
+
 def union_all(vectors: Iterable[BitVector]) -> BitVector:
     """Union of a non-empty iterable of bit vectors."""
     it = iter(vectors)
@@ -239,6 +277,7 @@ class AudienceIndex:
             raise ValueError("gender and age code arrays must be 1-D and equal length")
         self._n = int(gender_codes.shape[0])
         self._attrs: Dict[str, BitVector] = {}
+        self._counts: Dict[str, int] | None = None
         self._all = BitVector.ones(self._n)
         self._gender = {
             g: BitVector.from_bool(gender_codes == int(g)) for g in GENDERS
@@ -260,6 +299,7 @@ class AudienceIndex:
         if members.n_records != self._n:
             raise ValueError("membership vector spans a different population")
         self._attrs[attr_id] = members
+        self._counts = None
 
     # -- lookups ----------------------------------------------------------
 
@@ -303,5 +343,13 @@ class AudienceIndex:
         raise TypeError(f"not a sensitive value: {value!r}")
 
     def attribute_counts(self) -> Mapping[str, int]:
-        """Exact membership counts of every registered attribute."""
-        return {attr_id: vec.count() for attr_id, vec in self._attrs.items()}
+        """Exact membership counts of every registered attribute.
+
+        Popcounts are computed once per registration epoch; callers get
+        a fresh copy of the cached mapping.
+        """
+        if self._counts is None:
+            self._counts = {
+                attr_id: vec.count() for attr_id, vec in self._attrs.items()
+            }
+        return dict(self._counts)

@@ -11,6 +11,7 @@ from repro.population.bitsets import (
     AudienceIndex,
     BitVector,
     intersect_all,
+    intersect_counts,
     union_all,
 )
 from repro.population.demographics import AGE_RANGES, AgeRange, Gender
@@ -118,6 +119,26 @@ def index_sets(draw, n=257):
     return draw(
         st.sets(st.integers(0, n - 1), min_size=0, max_size=size)
     )
+
+
+class TestIntersectCounts:
+    def test_matches_scalar_counts(self):
+        vectors = [make(list(range(i, 200, i + 1)), 200) for i in range(6)]
+        mask = make(list(range(0, 200, 3)), 200)
+        assert intersect_counts(vectors, mask) == [
+            v.intersect_count(mask) for v in vectors
+        ]
+        assert intersect_counts(vectors) == [v.count() for v in vectors]
+
+    def test_empty_and_single(self):
+        assert intersect_counts([]) == []
+        v = make([1, 5, 9], 40)
+        assert intersect_counts([v]) == [3]
+        assert intersect_counts([v], make([5], 40)) == [1]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            intersect_counts([make([1], 10), make([1], 10)], make([1], 11))
 
 
 class TestBitVectorProperties:

@@ -77,7 +77,7 @@ class TestRandomCompositions:
         target = session_small.targets["google"]
         result = random_compositions(target, GENDER, n=20, seed=2)
         for audit in result.audits:
-            features = {target._feature_of(o) for o in audit.options}
+            features = {target.feature_of(o) for o in audit.options}
             assert len(features) == 2
 
     def test_arity_3(self, session_small):
