@@ -1,9 +1,12 @@
 """Audit report for the batched reach-estimation pipeline.
 
 Runs the macro experiments that dominate audit cost (Figures 1 and 2)
-twice each -- once with batched query planning (the default) and once
-with the per-query sequential path -- and writes ``BENCH_audit.json``
-at the repository root recording, per experiment and mode:
+three times each -- with batched query planning (the default), with
+the per-query sequential path, and batched through a calm
+:class:`~repro.api.chaos.ChaosTransport` with circuit breakers (the
+"resilient" mode, measuring what the resilience layer costs when no
+faults fire) -- and writes ``BENCH_audit.json`` at the repository root
+recording, per experiment and mode:
 
 * end-to-end wall time (best of ``--rounds`` cold runs, each on a
   fresh session so no caches leak between modes);
@@ -28,6 +31,7 @@ import json
 import time
 from pathlib import Path
 
+from repro import build_audit_session
 from repro.experiments import (
     ExperimentConfig,
     ExperimentContext,
@@ -89,12 +93,21 @@ def _session_stats(ctx: ExperimentContext) -> dict:
     }
 
 
-def _run_mode(run, records: int, batched: bool, rounds: int) -> dict:
+def _run_mode(
+    run, records: int, batched: bool, rounds: int, chaos: str | None = None
+) -> dict:
     """Best-of-``rounds`` cold wall time plus final-round session stats."""
     best_wall = None
     stats = None
     for _ in range(rounds):
-        ctx = ExperimentContext(ExperimentConfig.small().with_records(records))
+        config = ExperimentConfig.small().with_records(records)
+        if chaos is not None:
+            session = build_audit_session(
+                n_records=config.n_records, seed=config.seed, chaos=chaos
+            )
+            ctx = ExperimentContext(config, session=session)
+        else:
+            ctx = ExperimentContext(config)
         if not batched:
             for target in ctx.session.targets.values():
                 target.batch_queries = False
@@ -117,8 +130,9 @@ def build_report(
         "records_per_platform": records,
         "rounds_per_mode": rounds,
         "note": (
-            "wall_seconds is the best of the cold rounds; batched and "
-            "sequential modes yield bit-identical audit records"
+            "wall_seconds is the best of the cold rounds; batched, "
+            "sequential, and resilient (calm chaos transport + circuit "
+            "breakers) modes yield bit-identical audit records"
         ),
         "experiments": {},
     }
@@ -126,9 +140,19 @@ def build_report(
     for name, run in EXPERIMENTS.items():
         batched = _run_mode(run, records, batched=True, rounds=rounds)
         sequential = _run_mode(run, records, batched=False, rounds=rounds)
+        # Batched plus the full resilience layer on a calm chaos
+        # transport: what retries/breakers/fault bookkeeping cost when
+        # nothing actually goes wrong (target: under 5%).
+        resilient = _run_mode(
+            run, records, batched=True, rounds=rounds, chaos="calm"
+        )
         entry = {
             "batched": batched,
             "sequential": sequential,
+            "resilient": resilient,
+            "resilience_overhead": round(
+                resilient["wall_seconds"] / batched["wall_seconds"] - 1.0, 4
+            ),
             "wall_speedup": round(
                 sequential["wall_seconds"] / batched["wall_seconds"], 2
             ),
@@ -216,7 +240,8 @@ def main() -> None:
             f"{name}: batched {entry['batched']['wall_seconds']}s vs "
             f"sequential {entry['sequential']['wall_seconds']}s "
             f"({entry['wall_speedup']}x wall, {entry['virtual_speedup']}x "
-            f"virtual, {entry['request_reduction']}x fewer requests)"
+            f"virtual, {entry['request_reduction']}x fewer requests); "
+            f"resilience overhead {entry['resilience_overhead']:+.1%}"
         )
     print(f"wrote {args.out}")
 

@@ -30,7 +30,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.api import (
+    FAULT_PROFILES,
+    ChaosTransport,
     FakeTransport,
+    FaultProfile,
     VirtualClock,
     build_clients,
     mount_suite_routes,
@@ -60,6 +63,9 @@ __all__ = [
     "AuditSession",
     "AuditTarget",
     "AgeRange",
+    "ChaosTransport",
+    "FAULT_PROFILES",
+    "FaultProfile",
     "GENDERS",
     "Gender",
     "LatentFactorModel",
@@ -84,7 +90,9 @@ class AuditSession:
     """
 
     suite: PlatformSuite
-    transport: FakeTransport
+    #: The transport the clients talk to; a :class:`ChaosTransport`
+    #: when the session was built with fault injection.
+    transport: FakeTransport | ChaosTransport
     clients: dict[str, ReachClient]
     targets: dict[str, AuditTarget]
 
@@ -104,6 +112,8 @@ def build_audit_session(
     model: LatentFactorModel | None = None,
     rounding: RoundingPolicy | None = None,
     rate_limit: float | None = None,
+    chaos: FaultProfile | str | None = None,
+    chaos_seed: int = 1031,
 ) -> AuditSession:
     """Construct the full simulation + audit stack.
 
@@ -124,12 +134,26 @@ def build_audit_session(
         Requests/second allowed per account; ``None`` disables rate
         limiting, which is the right default for batch experiments on
         the virtual clock.
+    chaos:
+        Optional fault injection: a :class:`FaultProfile` or the name
+        of one of :data:`FAULT_PROFILES` (e.g. ``"storm"``).  The
+        transport is wrapped in a :class:`ChaosTransport`; the clients'
+        resilience layer absorbs the faults, so audit records stay
+        bit-identical to a fault-free session.
+    chaos_seed:
+        Seed of the fault sequence; the same seed replays the same
+        faults.
     """
     suite = build_platform_suite(
         n_records=n_records, seed=seed, model=model, rounding=rounding
     )
-    transport = FakeTransport(clock=VirtualClock(), rate=rate_limit)
+    transport: FakeTransport | ChaosTransport = FakeTransport(
+        clock=VirtualClock(), rate=rate_limit
+    )
     mount_suite_routes(transport, suite)
+    if chaos is not None:
+        profile = FAULT_PROFILES[chaos] if isinstance(chaos, str) else chaos
+        transport = ChaosTransport(transport, profile, seed=chaos_seed)
     clients = build_clients(transport)
     targets = build_audit_targets(clients)
     return AuditSession(

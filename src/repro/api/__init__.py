@@ -14,12 +14,21 @@ queries").  This package reproduces that layer:
     Google's obfuscated-JSON request/response codec; Facebook's and
     LinkedIn's wire formats are plain JSON.
 ``client``
-    Per-platform reach-estimate clients used by the audit core, which
-    retry politely after 429 responses.
+    Per-platform reach-estimate clients used by the audit core, with a
+    full resilience layer: retry policies, circuit breakers, and
+    partial-batch retry.
+``resilience``
+    Retry policies (exponential back-off, seeded jitter) and circuit
+    breakers, all deterministic on the virtual clock.
+``chaos``
+    Deterministic fault injection: a seeded transport wrapper that
+    throttles, fails, resets, times out, and corrupts batch envelopes
+    without ever changing a successful payload.
 ``routes``
     Server-side request handlers mounted on the transport.
 """
 
+from repro.api.chaos import FAULT_PROFILES, ChaosTransport, FaultProfile
 from repro.api.client import (
     FacebookReachClient,
     GoogleReachClient,
@@ -29,18 +38,24 @@ from repro.api.client import (
 )
 from repro.api.obfuscation import GoogleWireCodec
 from repro.api.ratelimit import TokenBucket
+from repro.api.resilience import CircuitBreaker, RetryPolicy
 from repro.api.routes import mount_suite_routes
 from repro.api.transport import FakeTransport, HttpRequest, HttpResponse, VirtualClock
 
 __all__ = [
+    "FAULT_PROFILES",
+    "ChaosTransport",
+    "CircuitBreaker",
     "FacebookReachClient",
     "FakeTransport",
+    "FaultProfile",
     "GoogleReachClient",
     "GoogleWireCodec",
     "HttpRequest",
     "HttpResponse",
     "LinkedInReachClient",
     "ReachClient",
+    "RetryPolicy",
     "TokenBucket",
     "VirtualClock",
     "build_clients",

@@ -3,9 +3,21 @@
 These are the reproduction of the paper's measurement script: Python
 clients that hit the platforms' reach-estimate endpoints, encode
 targeting specs in each platform's wire format (including Google's
-obfuscated JSON), back off politely on 429 rate-limit responses, and
-translate error payloads back into typed exceptions so the audit core
-can react (e.g. skip compositions Google cannot express).
+obfuscated JSON), and translate error payloads back into typed
+exceptions so the audit core can react (e.g. skip compositions Google
+cannot express).
+
+Each client carries a resilience layer, all on the virtual clock:
+
+* a :class:`~repro.api.resilience.RetryPolicy` -- exponential back-off
+  with seeded jitter for transient failures (5xx, connection resets,
+  timeouts), always honoring a platform ``retry_after`` hint for 429s;
+* an optional :class:`~repro.api.resilience.CircuitBreaker` per
+  platform/account that fails fast during an outage instead of
+  hammering a dead endpoint, with half-open probing to recover;
+* partial-batch retry: :meth:`ReachClient.estimate_many` re-requests
+  only the failed or missing items of a batch envelope, never the
+  whole chunk.
 
 Clients are deliberately thin: no caching and no audit logic here --
 the :mod:`repro.core` layer owns both.
@@ -15,9 +27,10 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.api.obfuscation import GoogleWireCodec
+from repro.api.resilience import CircuitBreaker, RetryPolicy
 from repro.api.transport import FakeTransport, HttpRequest
 from repro.api.wire import (
     MAX_BATCH_SIZE,
@@ -26,14 +39,17 @@ from repro.api.wire import (
     LinkedInWireCodec,
 )
 from repro.platforms.errors import (
+    RETRYABLE_STATUSES,
     ApiError,
     BadRequestError,
     CampaignConfigError,
+    CircuitOpenError,
     DisallowedTargetingError,
     ExclusionNotAllowedError,
     NoSizeEstimateError,
     PlatformError,
     TargetingError,
+    TransportError,
     UnknownOptionError,
     UnsupportedCompositionError,
 )
@@ -102,7 +118,13 @@ def _parse_option(raw: Mapping[str, Any]) -> CatalogOption:
 
 
 class ReachClient(ABC):
-    """Base API client with polite 429 back-off on the virtual clock."""
+    """Base API client with retries, back-off, and circuit breaking.
+
+    All waiting happens on the transport's virtual clock.  ``transport``
+    may be a plain :class:`FakeTransport` or a fault-injecting
+    :class:`~repro.api.chaos.ChaosTransport` -- the client's resilience
+    layer absorbs injected faults so results are identical either way.
+    """
 
     #: Registry key of the interface this client measures.
     interface_key: str = ""
@@ -119,35 +141,101 @@ class ReachClient(ABC):
         transport: FakeTransport,
         account: str = "audit",
         max_retries: int = 16,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ):
         self.transport = transport
         self.account = account
         self.max_retries = int(max_retries)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = breaker
         self.request_count = 0
         self._catalog_cache: list[CatalogOption] | None = None
+
+    def _give_up(self, attempts: int) -> bool:
+        return attempts > self.max_retries
 
     def _call(
         self, method: str, path: str, body: Mapping[str, Any] | None = None
     ) -> Mapping[str, Any]:
-        """One API call with rate-limit retries and error translation."""
-        retries = 0
+        """One API call with retries, breaker gating, error translation.
+
+        Transient failures -- 429 (honoring ``retry_after``), 500/503,
+        connection resets, timeouts -- are retried up to
+        :attr:`max_retries` times with the retry policy's back-off on
+        the virtual clock.  5xx and transport-level failures feed the
+        circuit breaker; while the breaker is open the client waits out
+        the reset timeout (each wait consumes a retry) and raises
+        :class:`CircuitOpenError` when the budget is exhausted.
+        """
+        request = HttpRequest(
+            method=method, path=path, body=body, account=self.account
+        )
+        clock = self.transport.clock
+        policy = self.retry_policy
+        breaker = self.breaker
+        attempts = 0
         while True:
+            if breaker is not None:
+                wait = breaker.before_call()
+                if wait > 0.0:
+                    attempts += 1
+                    if self._give_up(attempts):
+                        raise CircuitOpenError(
+                            f"{self.interface_key or path} circuit open; "
+                            "retry budget exhausted"
+                        )
+                    clock.sleep(wait + 1e-6)
+                    continue
             self.request_count += 1
-            response = self.transport.request(
-                HttpRequest(method=method, path=path, body=body, account=self.account)
-            )
-            if response.status == 429:
-                retries += 1
-                if retries > self.max_retries:
+            try:
+                response = self.transport.request(request)
+            except TransportError as exc:
+                if breaker is not None:
+                    breaker.record_failure()
+                attempts += 1
+                if self._give_up(attempts):
+                    raise ApiError(f"transport retries exhausted: {exc}") from exc
+                clock.sleep(policy.backoff(attempts))
+                continue
+            status = response.status
+            if status == 429:
+                # Polite rate-limit back-off; the platform answered, so
+                # this is not a breaker failure.
+                attempts += 1
+                if self._give_up(attempts):
                     raise ApiError("rate limit retries exhausted")
-                self.transport.clock.sleep(
-                    float(response.body.get("retry_after", 1.0)) + 1e-6
+                clock.sleep(
+                    policy.backoff(
+                        attempts,
+                        retry_after=float(response.body.get("retry_after", 1.0)),
+                    )
                 )
                 continue
+            if status in RETRYABLE_STATUSES:
+                if breaker is not None:
+                    breaker.record_failure()
+                attempts += 1
+                if self._give_up(attempts):
+                    raise ApiError(f"HTTP {status} retries exhausted")
+                retry_after = response.body.get("retry_after")
+                clock.sleep(
+                    policy.backoff(
+                        attempts,
+                        retry_after=(
+                            float(retry_after) if retry_after is not None else None
+                        ),
+                    )
+                )
+                continue
+            if breaker is not None:
+                # Any definitive answer -- success or a semantic error
+                # -- proves the platform is healthy.
+                breaker.record_success()
             if response.ok:
                 return response.body
             raise _error_from_payload(
-                response.status,
+                status,
                 str(response.body.get("error", "unknown error")),
                 response.body.get("kind"),
             )
@@ -186,28 +274,85 @@ class ReachClient(ABC):
     def _encode_batch(self, items: list[dict[str, Any]]) -> dict[str, Any]:
         return BatchEnvelope.encode_request(items)
 
-    def _decode_batch(
+    def _batch_entries(
         self, body: Mapping[str, Any], expected: int
-    ) -> list[int | PlatformError]:
-        out: list[int | PlatformError] = []
-        for entry in BatchEnvelope.decode_response(body, expected):
+    ) -> list[tuple[Mapping[str, Any] | None, tuple[int, str, str | None] | None]]:
+        """Normalised ``(result, error)`` pairs from a batch response.
+
+        Exactly one side of each pair is set; ``error`` is a
+        ``(status, message, kind)`` triple.  The list may be *shorter*
+        than ``expected`` when a fault truncated the envelope; callers
+        treat the missing tail as retryable.
+        """
+        out: list[
+            tuple[Mapping[str, Any] | None, tuple[int, str, str | None] | None]
+        ] = []
+        for entry in BatchEnvelope.decode_response(
+            body, expected, allow_truncated=True
+        ):
             if "error" in entry:
                 err = entry["error"]
                 out.append(
-                    _error_from_payload(
-                        int(err.get("status", 500)),
-                        str(err.get("error", "unknown error")),
-                        err.get("kind"),
+                    (
+                        None,
+                        (
+                            int(err.get("status", 500)),
+                            str(err.get("error", "unknown error")),
+                            err.get("kind"),
+                        ),
                     )
                 )
             elif "result" in entry:
-                out.append(self._decode_item(entry["result"]))
+                out.append((entry["result"], None))
             else:
                 raise ApiError("malformed batch entry")
         return out
 
+    def _fetch_batch(
+        self,
+        chunk: list[TargetingSpec],
+        out: list[int | PlatformError | None],
+        offset: int,
+        on_result: Callable[[int, int | PlatformError], None] | None,
+    ) -> None:
+        """Fetch one chunk's estimates with partial-batch retry.
+
+        Per-item transient failures (injected 429/5xx entries) and
+        envelope truncation re-request *only* the affected items; items
+        that already succeeded or failed semantically are never resent.
+        """
+        pending = list(range(len(chunk)))
+        rounds = 0
+        while pending:
+            body = self._encode_batch([self._encode_item(chunk[i]) for i in pending])
+            response = self._call("POST", self._batch_path, body)
+            entries = self._batch_entries(response, len(pending))
+            # A truncated envelope drops the tail: those items stay pending.
+            retry = pending[len(entries):]
+            for index, (result, error) in zip(pending, entries):
+                if error is not None and error[0] in RETRYABLE_STATUSES:
+                    retry.append(index)
+                    continue
+                value: int | PlatformError
+                if error is not None:
+                    value = _error_from_payload(*error)
+                else:
+                    value = self._decode_item(result)
+                out[offset + index] = value
+                if on_result is not None:
+                    on_result(offset + index, value)
+            if retry:
+                rounds += 1
+                if rounds > self.max_retries:
+                    raise ApiError("batch item retries exhausted")
+                retry.sort()
+                self.transport.clock.sleep(self.retry_policy.backoff(rounds))
+            pending = retry
+
     def estimate_many(
-        self, specs: Iterable[TargetingSpec]
+        self,
+        specs: Iterable[TargetingSpec],
+        on_result: Callable[[int, int | PlatformError], None] | None = None,
     ) -> list[int | PlatformError]:
         """Estimates for many specs via the batch endpoint.
 
@@ -215,18 +360,22 @@ class ReachClient(ABC):
         the typed exception instance the equivalent single call would
         have raised (not raised here, so one inexpressible spec does
         not lose its batch-mates' results).  Whole-request failures --
-        rate-limit retry exhaustion, malformed envelopes -- still
-        raise.  Requests are chunked to :attr:`batch_size` specs and
-        retain the 429 back-off of single calls.
+        retry exhaustion, malformed envelopes -- still raise.  Requests
+        are chunked to :attr:`batch_size` specs; transient per-item
+        failures and truncated envelopes are absorbed by partial-batch
+        retry (see :meth:`_fetch_batch`).
+
+        ``on_result`` is invoked with ``(index, value)`` as each item
+        completes, so callers that checkpoint progress keep every
+        finished estimate even when a later chunk raises mid-run.
         """
         specs = list(specs)
-        out: list[int | PlatformError] = []
+        out: list[int | PlatformError | None] = [None] * len(specs)
         for start in range(0, len(specs), self.batch_size):
-            chunk = specs[start : start + self.batch_size]
-            body = self._encode_batch([self._encode_item(s) for s in chunk])
-            response = self._call("POST", self._batch_path, body)
-            out.extend(self._decode_batch(response, len(chunk)))
-        return out
+            self._fetch_batch(
+                specs[start : start + self.batch_size], out, start, on_result
+            )
+        return out  # type: ignore[return-value]  # every slot is filled
 
 
 class FacebookReachClient(ReachClient):
@@ -242,8 +391,12 @@ class FacebookReachClient(ReachClient):
         restricted: bool = False,
         account: str = "audit",
         objective: str = "Reach",
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ):
-        super().__init__(transport, account=account)
+        super().__init__(
+            transport, account=account, retry_policy=retry_policy, breaker=breaker
+        )
         self.restricted = restricted
         self.objective = objective
         self.interface_key = "facebook_restricted" if restricted else "facebook"
@@ -295,8 +448,12 @@ class GoogleReachClient(ReachClient):
         account: str = "audit",
         frequency_cap: FrequencyCap = MOST_RESTRICTIVE_CAP,
         objective: str = "Brand awareness and reach",
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ):
-        super().__init__(transport, account=account)
+        super().__init__(
+            transport, account=account, retry_policy=retry_policy, breaker=breaker
+        )
         self.frequency_cap = frequency_cap
         self.objective = objective
         self._codec = GoogleWireCodec()
@@ -330,16 +487,12 @@ class GoogleReachClient(ReachClient):
     def _encode_batch(self, items: list[dict[str, Any]]) -> dict[str, Any]:
         return self._codec.encode_batch_request(items)
 
-    def _decode_batch(
+    def _batch_entries(
         self, body: Mapping[str, Any], expected: int
-    ) -> list[int | PlatformError]:
-        out: list[int | PlatformError] = []
-        for result, error in self._codec.decode_batch_response(body, expected):
-            if error is not None:
-                out.append(_error_from_payload(*error))
-            else:
-                out.append(self._decode_item(result))
-        return out
+    ) -> list[tuple[Mapping[str, Any] | None, tuple[int, str, str | None] | None]]:
+        return self._codec.decode_batch_response(
+            body, expected, allow_truncated=True
+        )
 
 
 class LinkedInReachClient(ReachClient):
@@ -377,14 +530,39 @@ class LinkedInReachClient(ReachClient):
 
 
 def build_clients(
-    transport: FakeTransport, account: str = "audit"
+    transport: FakeTransport,
+    account: str = "audit",
+    breakers: bool = True,
 ) -> dict[str, ReachClient]:
-    """Clients for the four studied interfaces, keyed like the suite."""
+    """Clients for the four studied interfaces, keyed like the suite.
+
+    ``breakers`` attaches one :class:`CircuitBreaker` per client (the
+    per-platform/per-account scope).  A breaker never trips without
+    transient failures, so this is free on a fault-free transport.
+    """
+
+    def _breaker(key: str) -> CircuitBreaker | None:
+        if not breakers:
+            return None
+        return CircuitBreaker(clock=transport.clock, name=f"{key}:{account}")
+
     return {
         "facebook_restricted": FacebookReachClient(
-            transport, restricted=True, account=account
+            transport,
+            restricted=True,
+            account=account,
+            breaker=_breaker("facebook_restricted"),
         ),
-        "facebook": FacebookReachClient(transport, restricted=False, account=account),
-        "google": GoogleReachClient(transport, account=account),
-        "linkedin": LinkedInReachClient(transport, account=account),
+        "facebook": FacebookReachClient(
+            transport,
+            restricted=False,
+            account=account,
+            breaker=_breaker("facebook"),
+        ),
+        "google": GoogleReachClient(
+            transport, account=account, breaker=_breaker("google")
+        ),
+        "linkedin": LinkedInReachClient(
+            transport, account=account, breaker=_breaker("linkedin")
+        ),
     }

@@ -303,15 +303,19 @@ class GoogleWireCodec:
 
     @staticmethod
     def decode_batch_response(
-        body: Mapping[str, Any], expected: int
+        body: Mapping[str, Any], expected: int, allow_truncated: bool = False
     ) -> list[tuple[Mapping[str, Any] | None, tuple[int, str, str | None] | None]]:
         """Per-item ``(result, error)`` pairs, exactly one side set.
 
         ``error`` is a ``(status, message, kind)`` triple the client
-        maps back onto its exception taxonomy.
+        maps back onto its exception taxonomy.  ``allow_truncated``
+        accepts a shorter entry list (dropped tail); longer is always
+        malformed.
         """
         entries = body.get(_F_BATCH)
-        if not isinstance(entries, list) or len(entries) != expected:
+        if not isinstance(entries, list) or len(entries) > expected:
+            raise BadRequestError("malformed Google batch response")
+        if len(entries) != expected and not allow_truncated:
             raise BadRequestError("malformed Google batch response")
         out: list[
             tuple[Mapping[str, Any] | None, tuple[int, str, str | None] | None]

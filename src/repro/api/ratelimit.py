@@ -18,11 +18,21 @@ class _Clock(Protocol):
     def now(self) -> float: ...  # pragma: no cover - structural typing
 
 
+#: Refill comparison tolerance.  A caller that sleeps *exactly* the
+#: wait returned by :meth:`TokenBucket.try_acquire` must succeed on the
+#: next attempt, but ``(need - tokens) / rate * rate`` rounds below
+#: ``need - tokens`` for most rates in IEEE arithmetic, which would
+#: make back-off loops spin on a perpetual femtosecond deficit.
+_REFILL_TOLERANCE = 1e-9
+
+
 class TokenBucket:
     """Classic token bucket: ``rate`` tokens/second, capacity ``burst``.
 
     :meth:`try_acquire` never blocks; it returns 0.0 on success or the
-    number of seconds until a token will be available.
+    number of seconds until a token will be available.  Sleeping that
+    long (e.g. a client backing off on the virtual clock during a 429
+    storm) is guaranteed to refill the bucket enough for the retry.
     """
 
     def __init__(self, rate: float, burst: int, clock: _Clock):
@@ -66,7 +76,7 @@ class TokenBucket:
                 raise ValueError("cannot acquire more than the bucket capacity")
             tokens = float(self.burst)
         self._refill()
-        if self._tokens >= tokens:
-            self._tokens -= tokens
+        if self._tokens + _REFILL_TOLERANCE >= tokens:
+            self._tokens = max(0.0, self._tokens - tokens)
             return 0.0
         return (tokens - self._tokens) / self.rate

@@ -1,0 +1,170 @@
+"""Client-side resilience primitives on the virtual clock.
+
+Audit studies against live ad platforms spend much of their
+engineering budget surviving throttling and transient failures; this
+module gives the simulated measurement clients the same machinery,
+fully deterministic on the :class:`~repro.api.transport.VirtualClock`:
+
+``RetryPolicy``
+    Exponential back-off with seeded jitter.  A ``Retry-After`` hint
+    from the platform always wins over the computed delay, so polite
+    429 handling is bit-identical to the pre-resilience clients.
+``CircuitBreaker``
+    Per-client (i.e. per platform x account) breaker with the classic
+    closed -> open -> half-open -> closed state machine.  Every
+    transition is timestamped on the virtual clock so tests can assert
+    exact trajectories.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Protocol
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "RETRY_AFTER_SLACK"]
+
+#: Epsilon added on top of a platform-supplied ``retry_after`` so the
+#: token bucket's refill comparison is safely past the boundary.
+RETRY_AFTER_SLACK = 1e-6
+
+
+class _Clock(Protocol):
+    def now(self) -> float: ...  # pragma: no cover - structural typing
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential back-off schedule with seeded jitter.
+
+    ``backoff(attempt)`` returns ``base_delay * multiplier**(attempt-1)``
+    capped at ``max_delay``, scaled by a jitter factor drawn uniformly
+    from ``[1-jitter, 1+jitter]`` off a private seeded RNG -- so the
+    schedule is exactly reproducible for a given seed and draw order.
+    When the platform supplied a ``Retry-After`` hint, that hint (plus
+    :data:`RETRY_AFTER_SLACK`) is honored instead and no jitter is
+    drawn.
+    """
+
+    base_delay: float = 0.25
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.1
+    seed: int = 1831
+
+    def __post_init__(self) -> None:
+        if self.base_delay <= 0 or self.multiplier < 1 or self.max_delay <= 0:
+            raise ValueError("delays must be positive and multiplier >= 1")
+        if not 0 <= self.jitter < 1:
+            raise ValueError("jitter must be in [0, 1)")
+        self._rng = random.Random(self.seed)
+
+    def reset(self) -> None:
+        """Rewind the jitter stream to the seed (replay support)."""
+        self._rng = random.Random(self.seed)
+
+    def backoff(self, attempt: int, retry_after: float | None = None) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        if retry_after is not None:
+            return float(retry_after) + RETRY_AFTER_SLACK
+        delay = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return delay
+
+
+@dataclass
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker on the virtual clock.
+
+    States and transitions:
+
+    * ``closed`` -- calls flow; ``failure_threshold`` *consecutive*
+      failures open the circuit (any success resets the count);
+    * ``open`` -- calls are refused for ``reset_timeout`` seconds from
+      the opening failure, then the breaker half-opens;
+    * ``half_open`` -- probe calls flow; ``success_threshold``
+      consecutive probe successes close the circuit, any probe failure
+      re-opens it (restarting the timeout).
+
+    The breaker never sleeps or raises itself: :meth:`before_call`
+    returns how long the caller must wait (0.0 means "go ahead"), and
+    the caller decides whether to wait it out on the virtual clock or
+    give up.  ``transitions`` records every state change as
+    ``(virtual_time, old_state, new_state)``.
+    """
+
+    clock: _Clock
+    failure_threshold: int = 5
+    reset_timeout: float = 30.0
+    success_threshold: int = 2
+    name: str = ""
+    transitions: list[tuple[float, str, str]] = field(default_factory=list)
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1 or self.success_threshold < 1:
+            raise ValueError("thresholds must be at least 1")
+        if self.reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self._state = self.CLOSED
+        self._failures = 0
+        self._probe_successes = 0
+        self._opened_at = 0.0
+
+    def _transition(self, new_state: str) -> None:
+        self.transitions.append((self.clock.now(), self._state, new_state))
+        self._state = new_state
+
+    @property
+    def state(self) -> str:
+        """Current state, resolving an elapsed open-timeout to half-open."""
+        if (
+            self._state == self.OPEN
+            and self.clock.now() - self._opened_at >= self.reset_timeout
+        ):
+            self._probe_successes = 0
+            self._transition(self.HALF_OPEN)
+        return self._state
+
+    def before_call(self) -> float:
+        """0.0 if a call may proceed, else seconds until the next probe."""
+        if self.state == self.OPEN:
+            return max(
+                0.0, self._opened_at + self.reset_timeout - self.clock.now()
+            )
+        return 0.0
+
+    def record_success(self) -> None:
+        """Note a successful call (any non-transient response counts)."""
+        state = self.state
+        if state == self.HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.success_threshold:
+                self._failures = 0
+                self._transition(self.CLOSED)
+        elif state == self.CLOSED:
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        """Note a transient failure (5xx or transport-level)."""
+        state = self.state
+        if state == self.HALF_OPEN:
+            self._opened_at = self.clock.now()
+            self._transition(self.OPEN)
+        elif state == self.CLOSED:
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._opened_at = self.clock.now()
+                self._transition(self.OPEN)
+        # Failures while OPEN are impossible through before_call-gated
+        # callers and are ignored otherwise.
+
+    def __repr__(self) -> str:
+        label = f" {self.name}" if self.name else ""
+        return f"<CircuitBreaker{label} {self.state} failures={self._failures}>"

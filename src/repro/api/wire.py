@@ -96,11 +96,18 @@ class BatchEnvelope:
 
     @staticmethod
     def decode_response(
-        body: Mapping[str, Any], expected: int
+        body: Mapping[str, Any], expected: int, allow_truncated: bool = False
     ) -> list[Mapping[str, Any]]:
-        """The per-item entries, validated against the request length."""
+        """The per-item entries, validated against the request length.
+
+        ``allow_truncated`` accepts a *shorter* results list (a fault
+        or proxy dropped the tail); resilient clients treat the missing
+        entries as retryable.  A longer list is always malformed.
+        """
         results = body.get("results")
-        if not isinstance(results, list) or len(results) != expected:
+        if not isinstance(results, list) or len(results) > expected:
+            raise BadRequestError("malformed batch response")
+        if len(results) != expected and not allow_truncated:
             raise BadRequestError("malformed batch response")
         return results
 

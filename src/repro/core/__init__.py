@@ -13,6 +13,9 @@ Layering:
     :class:`~repro.core.audit.AuditTarget` -- the measurement engine
     encoding each platform's quirks (restricted-interface indirection,
     LinkedIn demographic facets, Google cross-feature composition).
+``checkpoint``
+    Durable estimate store making killed audit runs resumable without
+    re-querying (bit-identical output).
 ``discovery``
     Individual audits, random compositions, and the greedy discovery of
     the most skewed compositions.
@@ -26,6 +29,7 @@ Layering:
 """
 
 from repro.core.audit import AuditTarget, build_audit_targets
+from repro.core.checkpoint import EstimateCheckpoint
 from repro.core.budget import (
     BudgetExceededError,
     QueryBudget,
@@ -89,6 +93,7 @@ __all__ = [
     "CompositionSet",
     "ConsistencyReport",
     "DEFAULT_MIN_REACH",
+    "EstimateCheckpoint",
     "FOUR_FIFTHS_HIGH",
     "FOUR_FIFTHS_LOW",
     "GranularityReport",

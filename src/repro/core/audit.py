@@ -88,6 +88,32 @@ class AuditTarget:
         # Keyed by (enum type, value): Gender and AgeRange are IntEnums
         # with overlapping raw values, so they cannot share a plain dict.
         self._li_demo_ids: dict[tuple[type, int], str] | None = None
+        # Optional durable store mirroring the estimate cache; see
+        # :meth:`attach_checkpoint`.
+        self._checkpoint = None
+
+    # -- checkpointing ------------------------------------------------------
+
+    def attach_checkpoint(self, checkpoint) -> None:
+        """Mirror the estimate cache into an
+        :class:`~repro.core.checkpoint.EstimateCheckpoint`.
+
+        Estimates already in the store pre-warm the cache (so the query
+        planner never re-issues them), and every future successful
+        estimate is recorded.  Audit records are a pure function of the
+        cached estimates, so a killed run resumed through its
+        checkpoint yields bit-identical output.
+        """
+        self._checkpoint = checkpoint
+        for client in (self.client, self.measure_client):
+            shard = self._cache.setdefault(client.interface_key, {})
+            shard.update(checkpoint.shard(client.interface_key))
+
+    def _record_estimate(
+        self, interface_key: str, spec: TargetingSpec, estimate: int
+    ) -> None:
+        if self._checkpoint is not None:
+            self._checkpoint.record(interface_key, spec, estimate)
 
     # -- catalog ------------------------------------------------------------
 
@@ -217,6 +243,7 @@ class AuditTarget:
             return cached
         self.cache_misses += 1
         result = shard[spec] = client.estimate(spec)
+        self._record_estimate(client.interface_key, spec, result)
         return result
 
     def _slices(
@@ -349,18 +376,31 @@ class AuditTarget:
     ) -> None:
         """Fetch a plan's estimates in batched calls, one pass per client.
 
-        Successful estimates land in the spec cache; per-item errors
-        are left uncached, so the scatter pass re-issues that single
-        call and raises exactly where the sequential path would.
+        Successful estimates land in the spec cache (and checkpoint) as
+        each item completes -- streamed through ``on_result`` so a run
+        killed mid-plan keeps everything already fetched.  Per-item
+        errors are left uncached, so the scatter pass re-issues that
+        single call and raises exactly where the sequential path would.
         """
         by_client: dict[str, tuple[ReachClient, list[TargetingSpec]]] = {}
         for client, spec in plan:
             by_client.setdefault(client.interface_key, (client, []))[1].append(spec)
         for client, specs in by_client.values():
             shard = self._cache.setdefault(client.interface_key, {})
-            for spec, result in zip(specs, client.estimate_many(specs)):
+            interface_key = client.interface_key
+
+            def commit(
+                index: int,
+                result,
+                shard=shard,
+                specs=specs,
+                interface_key=interface_key,
+            ) -> None:
                 if isinstance(result, int):
-                    shard[spec] = result
+                    shard[specs[index]] = result
+                    self._record_estimate(interface_key, specs[index], result)
+
+            client.estimate_many(specs, on_result=commit)
 
     def audit_many(
         self,

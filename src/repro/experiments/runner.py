@@ -4,11 +4,19 @@ Runs each experiment against one shared :class:`ExperimentContext`
 (so size queries are reused across figures, as in the paper), collects
 the rendered reports, and optionally writes them to a file.
 
+Runs survive hostile platforms: ``--chaos PROFILE`` injects a named
+fault profile (throttle storms, 5xx bursts, resets, timeouts,
+truncated batches) which the clients' resilience layer absorbs, and
+``--checkpoint PATH`` persists every completed size estimate so a
+killed run resumes without re-querying -- output stays bit-identical
+either way.
+
 CLI usage::
 
     repro-audit --scale small
     repro-audit --scale full --out results.txt
     repro-audit --only fig1 table1 --records 60000
+    repro-audit --chaos storm --checkpoint run.ckpt.json
 """
 
 from __future__ import annotations
@@ -17,8 +25,12 @@ import argparse
 import sys
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
+from repro import build_audit_session
+from repro.api.chaos import FAULT_PROFILES, FaultProfile
+from repro.core.checkpoint import EstimateCheckpoint
 from repro.experiments import (
     ext_lookalike,
     ext_mitigation,
@@ -93,23 +105,66 @@ def run_all(
     only: list[str] | None = None,
     context: ExperimentContext | None = None,
     verbose: bool = False,
+    chaos: FaultProfile | str | None = None,
+    chaos_seed: int = 1031,
+    checkpoint: EstimateCheckpoint | str | Path | None = None,
 ) -> RunReport:
-    """Run the selected experiments over one shared context."""
+    """Run the selected experiments over one shared context.
+
+    ``chaos`` builds the session over a fault-injecting transport (by
+    profile or name from :data:`FAULT_PROFILES`); ignored when an
+    explicit ``context`` is supplied.  ``checkpoint`` attaches an
+    estimate checkpoint (a store, or a path that is loaded if present)
+    to every audit target: completed size estimates persist even when
+    an experiment raises mid-run -- e.g. an exhausted circuit breaker
+    during an outage -- and a re-run with the same checkpoint resumes
+    without re-issuing them, producing bit-identical output.
+    """
     config = config or ExperimentConfig.full()
+    if context is None and chaos is not None:
+        session = build_audit_session(
+            n_records=config.n_records,
+            seed=config.seed,
+            chaos=chaos,
+            chaos_seed=chaos_seed,
+        )
+        context = ExperimentContext(config, session=session)
     ctx = context or ExperimentContext(config)
     names = list(only or EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}")
 
+    store: EstimateCheckpoint | None = None
+    if checkpoint is not None:
+        store = (
+            checkpoint
+            if isinstance(checkpoint, EstimateCheckpoint)
+            else EstimateCheckpoint(checkpoint)
+        )
+        for target in ctx.session.targets.values():
+            target.attach_checkpoint(store)
+        if verbose and len(store):
+            print(
+                f"resuming from checkpoint: {len(store):,} estimates",
+                file=sys.stderr,
+                flush=True,
+            )
+
     report = RunReport(config=ctx.config)
-    for name in names:
-        title, runner = EXPERIMENTS[name]
-        if verbose:
-            print(f"running {name}: {title} ...", file=sys.stderr, flush=True)
-        started = time.perf_counter()
-        report.results[name] = runner(ctx)
-        report.durations[name] = time.perf_counter() - started
+    try:
+        for name in names:
+            title, runner = EXPERIMENTS[name]
+            if verbose:
+                print(f"running {name}: {title} ...", file=sys.stderr, flush=True)
+            started = time.perf_counter()
+            report.results[name] = runner(ctx)
+            report.durations[name] = time.perf_counter() - started
+    finally:
+        # Persist whatever completed, even when an experiment raised --
+        # that is the whole point of the checkpoint.
+        if store is not None and store.path is not None:
+            store.save()
     report.total_api_requests = ctx.session.total_api_requests()
     return report
 
@@ -145,6 +200,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", type=str, default=None, help="also write the report here"
     )
+    parser.add_argument(
+        "--chaos",
+        choices=sorted(FAULT_PROFILES),
+        default=None,
+        help="inject a named fault profile (results are unaffected)",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=1031,
+        help="seed of the injected fault sequence (default: 1031)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=str,
+        default=None,
+        help=(
+            "persist completed size estimates here and resume from the "
+            "file if it already exists"
+        ),
+    )
     args = parser.parse_args(argv)
 
     config = getattr(ExperimentConfig, args.scale)()
@@ -155,7 +231,14 @@ def main(argv: list[str] | None = None) -> int:
 
         config = replace(config, seed=args.seed)
 
-    report = run_all(config=config, only=args.only, verbose=True)
+    report = run_all(
+        config=config,
+        only=args.only,
+        verbose=True,
+        chaos=args.chaos,
+        chaos_seed=args.chaos_seed,
+        checkpoint=args.checkpoint,
+    )
     text = report.render()
     print(text)
     if args.out:

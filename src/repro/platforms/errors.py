@@ -22,7 +22,18 @@ __all__ = [
     "ApiError",
     "RateLimitExceededError",
     "BadRequestError",
+    "TransportError",
+    "ConnectionLostError",
+    "RequestTimeoutError",
+    "CircuitOpenError",
+    "RETRYABLE_STATUSES",
 ]
+
+#: HTTP statuses a client may retry without changing the request: the
+#: platform either asked for a pause (429) or failed transiently
+#: (500/503).  Everything else is a property of the request itself
+#: (400/404/422) and retrying cannot help.
+RETRYABLE_STATUSES = frozenset({429, 500, 503})
 
 
 class PlatformError(Exception):
@@ -97,3 +108,34 @@ class BadRequestError(ApiError):
     """The API request body could not be parsed."""
 
     status = 400
+
+
+class TransportError(ApiError):
+    """The request failed before any HTTP response arrived.
+
+    Real measurement scripts see these as socket-level failures; the
+    simulation's chaos layer raises them from the transport.  They are
+    always retryable -- the platform may never have seen the request.
+    """
+
+    status = 0
+
+
+class ConnectionLostError(TransportError):
+    """The connection was reset mid-request (no response)."""
+
+
+class RequestTimeoutError(TransportError):
+    """No response arrived within the client's timeout."""
+
+
+class CircuitOpenError(ApiError):
+    """A client-side circuit breaker refused the call.
+
+    Never produced by a platform: raised locally when a breaker has
+    opened after repeated failures and its wait budget is exhausted.
+    Audit runs killed by this error resume from their estimate
+    checkpoint without re-issuing completed queries.
+    """
+
+    status = 503

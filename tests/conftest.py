@@ -11,6 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro import build_audit_session
+from repro.api.chaos import FAULT_PROFILES, FaultProfile
 from repro.platforms import ExactRounding
 from repro.platforms.facebook import FacebookMarketingPlatform
 from repro.platforms.google import GooglePlatform
@@ -52,3 +53,20 @@ def google_platform():
 def linkedin_platform():
     """One LinkedIn platform."""
     return LinkedInPlatform(n_records=6_000, seed=5)
+
+
+@pytest.fixture
+def fault_profile():
+    """Factory for fault profiles: a named profile plus overrides.
+
+    Usage::
+
+        profile = fault_profile("storm", throttle_prob=0.5)
+        profile = fault_profile(outage_after=2)  # starts from "calm"
+    """
+
+    def factory(name: str = "calm", /, **overrides) -> FaultProfile:
+        profile = FAULT_PROFILES[name]
+        return profile.with_overrides(**overrides) if overrides else profile
+
+    return factory

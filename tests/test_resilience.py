@@ -1,0 +1,335 @@
+"""Specs for the client resilience primitives.
+
+Covers the :class:`RetryPolicy` back-off schedule (exact, seeded, and
+replayable), the :class:`CircuitBreaker` state machine (every
+transition of the closed/open/half-open diagram, with timestamps on
+the virtual clock), and a property-style check that the breaker
+matches an independently written reference model under arbitrary
+seeded interleavings of successes, failures, and clock advances.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api.resilience import RETRY_AFTER_SLACK, CircuitBreaker, RetryPolicy
+from repro.api.transport import HttpResponse, VirtualClock
+from repro.platforms.errors import ApiError, CircuitOpenError
+
+
+class TestRetryPolicy:
+    def test_same_seed_same_schedule(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        schedule_a = [a.backoff(i) for i in range(1, 9)]
+        schedule_b = [b.backoff(i) for i in range(1, 9)]
+        assert schedule_a == schedule_b
+
+    def test_different_seed_different_schedule(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=8)
+        assert [a.backoff(i) for i in range(1, 9)] != [
+            b.backoff(i) for i in range(1, 9)
+        ]
+
+    def test_reset_rewinds_the_jitter_stream(self):
+        policy = RetryPolicy()
+        first = [policy.backoff(i) for i in range(1, 6)]
+        policy.reset()
+        assert [policy.backoff(i) for i in range(1, 6)] == first
+
+    def test_zero_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(base_delay=0.5, multiplier=3.0, jitter=0.0)
+        assert policy.backoff(1) == 0.5
+        assert policy.backoff(2) == 1.5
+        assert policy.backoff(3) == 4.5
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.2)
+        for _ in range(200):
+            assert 0.8 <= policy.backoff(1) <= 1.2
+
+    def test_max_delay_caps_the_exponent(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=8.0, jitter=0.0)
+        assert policy.backoff(20) == 8.0
+
+    def test_retry_after_wins_and_draws_no_jitter(self):
+        policy = RetryPolicy(seed=3)
+        reference = RetryPolicy(seed=3)
+        assert policy.backoff(1, retry_after=0.5) == 0.5 + RETRY_AFTER_SLACK
+        # The hinted call must not consume a jitter draw: the next
+        # computed back-off still matches a fresh same-seed policy.
+        assert policy.backoff(2) == reference.backoff(2)
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"base_delay": 0.0},
+            {"multiplier": 0.5},
+            {"max_delay": -1.0},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCircuitBreakerTransitions:
+    """The closed -> open -> half-open -> closed diagram, exactly."""
+
+    def _breaker(self, clock, **kwargs):
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("reset_timeout", 10.0)
+        kwargs.setdefault("success_threshold", 2)
+        return CircuitBreaker(clock=clock, **kwargs)
+
+    def test_stays_closed_below_threshold(self):
+        clock = VirtualClock()
+        breaker = self._breaker(clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.before_call() == 0.0
+        assert breaker.transitions == []
+
+    def test_success_resets_the_consecutive_count(self):
+        clock = VirtualClock()
+        breaker = self._breaker(clock)
+        for _ in range(10):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_opens_on_threshold_and_reports_wait(self):
+        clock = VirtualClock(start=100.0)
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.before_call() == pytest.approx(10.0)
+        clock.advance(4.0)
+        assert breaker.before_call() == pytest.approx(6.0)
+        assert breaker.transitions == [(100.0, "closed", "open")]
+
+    def test_half_opens_after_timeout_then_closes_on_probes(self):
+        clock = VirtualClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.before_call() == 0.0
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.transitions == [
+            (0.0, "closed", "open"),
+            (10.0, "open", "half_open"),
+            (10.0, "half_open", "closed"),
+        ]
+
+    def test_probe_failure_reopens_with_fresh_timeout(self):
+        clock = VirtualClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.before_call() == pytest.approx(10.0)
+        assert breaker.transitions[-1] == (10.0, "half_open", "open")
+
+    def test_reopen_discards_partial_probe_progress(self):
+        clock = VirtualClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        breaker.record_success()  # one probe short of closing
+        breaker.record_failure()  # reopen
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        # Still needs the full success_threshold, not just one more.
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"success_threshold": 0},
+            {"reset_timeout": 0.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            CircuitBreaker(clock=VirtualClock(), **kwargs)
+
+
+class _ReferenceBreaker:
+    """Independent reference model of the breaker state machine.
+
+    Written straight from the docstring spec rather than the
+    implementation, so the property test below can catch divergence.
+    """
+
+    def __init__(self, clock, failure_threshold, reset_timeout, success_threshold):
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.success_threshold = success_threshold
+        self._state = "closed"
+        self.failures = 0
+        self.probes = 0
+        self.opened_at = 0.0
+
+    def _tick(self):
+        if (
+            self._state == "open"
+            and self.clock.now() - self.opened_at >= self.reset_timeout
+        ):
+            self._state = "half_open"
+            self.probes = 0
+
+    @property
+    def state(self):
+        self._tick()
+        return self._state
+
+    def success(self):
+        self._tick()
+        if self._state == "half_open":
+            self.probes += 1
+            if self.probes >= self.success_threshold:
+                self._state = "closed"
+                self.failures = 0
+        elif self._state == "closed":
+            self.failures = 0
+
+    def failure(self):
+        self._tick()
+        if self._state == "half_open":
+            self._state = "open"
+            self.opened_at = self.clock.now()
+        elif self._state == "closed":
+            self.failures += 1
+            if self.failures >= self.failure_threshold:
+                self._state = "open"
+                self.opened_at = self.clock.now()
+
+
+class TestCircuitBreakerProperty:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_matches_reference_model_under_random_interleavings(self, seed):
+        rng = random.Random(seed)
+        clock = VirtualClock()
+        params = dict(
+            failure_threshold=rng.randint(1, 4),
+            reset_timeout=rng.choice([1.0, 5.0, 30.0]),
+            success_threshold=rng.randint(1, 3),
+        )
+        real = CircuitBreaker(clock=clock, **params)
+        model = _ReferenceBreaker(clock, **params)
+        for step in range(300):
+            move = rng.random()
+            if move < 0.4:
+                real.record_failure()
+                model.failure()
+            elif move < 0.8:
+                real.record_success()
+                model.success()
+            else:
+                clock.advance(rng.choice([0.5, 2.0, 10.0, 31.0]))
+            assert real.state == model.state, f"diverged at step {step}"
+
+
+class _ScriptedTransport:
+    """Minimal transport double: plays back a response script.
+
+    Each script entry is an :class:`HttpResponse` or an exception
+    instance to raise.  No latency, no rate limiting -- so the clock
+    only moves when the client sleeps, making back-off schedules
+    directly observable.
+    """
+
+    def __init__(self, script):
+        self.clock = VirtualClock()
+        self.script = list(script)
+        self.calls = 0
+
+    def request(self, request):
+        self.calls += 1
+        entry = self.script.pop(0)
+        if isinstance(entry, Exception):
+            raise entry
+        return entry
+
+
+def _client(script, **kwargs):
+    from repro.api.client import FacebookReachClient
+
+    return FacebookReachClient(_ScriptedTransport(script), **kwargs)
+
+
+_OK = HttpResponse(200, {"estimate": 1000})
+
+
+class TestClientBackoffSchedule:
+    """The client's sleeps follow the policy's schedule exactly."""
+
+    def test_5xx_retries_sleep_the_policy_schedule(self):
+        client = _client(
+            [
+                HttpResponse(503, {"error": "boom"}),
+                HttpResponse(500, {"error": "boom"}),
+                _OK,
+            ],
+            retry_policy=RetryPolicy(seed=21),
+        )
+        body = client._call("POST", "/facebook/delivery_estimate", {})
+        assert body == {"estimate": 1000}
+        reference = RetryPolicy(seed=21)
+        expected = reference.backoff(1) + reference.backoff(2)
+        assert client.transport.clock.now() == pytest.approx(expected)
+        assert client.transport.calls == 3
+
+    def test_429_sleeps_retry_after_plus_slack_exactly(self):
+        client = _client(
+            [HttpResponse(429, {"error": "slow down", "retry_after": 0.5}), _OK]
+        )
+        client._call("POST", "/facebook/delivery_estimate", {})
+        assert client.transport.clock.now() == 0.5 + RETRY_AFTER_SLACK
+
+    def test_breaker_open_waits_then_raises_when_budget_exhausted(self):
+        script = [HttpResponse(503, {"error": "down"})] * 4
+        transport = _ScriptedTransport(script)
+        from repro.api.client import FacebookReachClient
+
+        breaker = CircuitBreaker(
+            clock=transport.clock, failure_threshold=2, reset_timeout=5.0
+        )
+        client = FacebookReachClient(
+            transport, breaker=breaker, retry_policy=RetryPolicy(jitter=0.0)
+        )
+        client.max_retries = 4
+        with pytest.raises((ApiError, CircuitOpenError)):
+            client._call("POST", "/facebook/delivery_estimate", {})
+        # The breaker opened after two consecutive 503s and the client
+        # waited out at least one open window on the virtual clock.
+        assert ("closed", "open") in {
+            (old, new) for _, old, new in breaker.transitions
+        }
+        assert transport.clock.now() >= 5.0

@@ -153,3 +153,45 @@ class TestFakeTransport:
     def test_response_ok_property(self):
         assert HttpResponse(204, {}).ok
         assert not HttpResponse(400, {}).ok
+
+
+class TestTokenBucketRefillDrift:
+    """Regression: sleeping exactly the advertised wait must suffice.
+
+    ``try_acquire`` returns ``(need - tokens) / rate`` seconds; for
+    most rates IEEE doubles round ``wait * rate`` slightly *below*
+    ``need - tokens``, so an exact-wait sleeper came back fractionally
+    short and was told to wait again (and again).  The bucket now
+    absorbs that drift with a refill tolerance.
+    """
+
+    def test_exact_wait_sleep_refills_for_awkward_rates(self):
+        for step in range(1, 60):
+            rate = step / 7.0
+            clock = VirtualClock()
+            bucket = TokenBucket(rate=rate, burst=1, clock=clock)
+            assert bucket.try_acquire() == 0.0
+            wait = bucket.try_acquire()
+            assert wait > 0.0
+            clock.advance(wait)
+            assert bucket.try_acquire() == 0.0, f"rate {rate} still short"
+
+    def test_429_backoff_sleep_refills_the_bucket(self):
+        """One 429 per rate-limited call, never two.
+
+        The client sleeps the platform's ``retry_after`` hint (plus
+        slack) on the shared clock; that sleep must refill the token
+        bucket so the retry is admitted immediately.
+        """
+        from repro.api.client import FacebookReachClient
+
+        transport = FakeTransport(rate=0.3, burst=1, latency=0.0)
+        transport.register("POST", "/facebook/delivery_estimate", lambda req: {"ok": 1})
+        client = FacebookReachClient(transport)
+        for _ in range(5):
+            assert client._call("POST", "/facebook/delivery_estimate", {}) == {"ok": 1}
+        # First call rides the initial burst; each later call pays
+        # exactly one 429 before its retry is admitted.
+        assert client.request_count == 5 + 4
+        stats = transport.stats()["POST /facebook/delivery_estimate"]
+        assert stats["rate_limited"] == 4
