@@ -32,6 +32,7 @@ import time
 from pathlib import Path
 
 from repro import build_audit_session
+from repro.analysis import all_rules, json_payload, run_lint
 from repro.experiments import (
     ExperimentConfig,
     ExperimentContext,
@@ -120,6 +121,20 @@ def _run_mode(
     return {"wall_seconds": round(best_wall, 3), **stats}
 
 
+def _lint_audit() -> dict:
+    """``repro-lint --format json`` over ``src/``, for drift tracking.
+
+    Recording the rule counts and analyzer wall time next to the perf
+    numbers means a PR that slows the linter down or starts leaning on
+    suppressions/baseline entries shows up in the same diff as its
+    benchmark deltas.
+    """
+    repo_root = Path(__file__).resolve().parent.parent
+    rules = all_rules()
+    lint_report, wall = run_lint([repo_root / "src"], rules=rules, root=repo_root)
+    return json_payload(lint_report, rules, wall)
+
+
 def build_report(
     records: int,
     rounds: int,
@@ -135,6 +150,7 @@ def build_report(
             "breakers) modes yield bit-identical audit records"
         ),
         "experiments": {},
+        "lint": _lint_audit(),
     }
     baselines = baselines or {}
     for name, run in EXPERIMENTS.items():
@@ -243,6 +259,12 @@ def main() -> None:
             f"virtual, {entry['request_reduction']}x fewer requests); "
             f"resilience overhead {entry['resilience_overhead']:+.1%}"
         )
+    lint = report["lint"]
+    print(
+        f"lint: {lint['files']} files, {sum(lint['rules'].values())} "
+        f"finding(s), {lint['suppressed']} suppressed, "
+        f"{lint['wall_seconds']}s"
+    )
     print(f"wrote {args.out}")
 
 

@@ -1,0 +1,49 @@
+"""``repro-lint``: AST-based determinism & architecture analysis.
+
+A pluggable static-analysis framework guarding the conventions the
+reproduction's guarantees rest on, in three rule families:
+
+* ``determinism/*`` -- no wall-clock reads, no unseeded randomness,
+  no iteration over hash/OS-ordered collections without ``sorted``;
+* ``layering/*`` -- the package import DAG ``population -> platforms
+  -> api -> core -> reporting/experiments`` stays one-directional;
+* ``errors/*`` -- no broad excepts, typed ``platforms.errors`` raises
+  on transport request paths, no ``print`` in library code.
+
+Run it as ``repro-lint src`` (or ``python -m repro.analysis src``),
+or import :func:`analyze_paths` / :func:`analyze_source` directly;
+``tests/test_lint_clean.py`` gates tier-1 on a clean tree.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.cli import json_payload, main, run_lint
+from repro.analysis.core import (
+    AnalysisReport,
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    module_name_for,
+    register,
+    rule,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "json_payload",
+    "main",
+    "module_name_for",
+    "register",
+    "rule",
+    "run_lint",
+]

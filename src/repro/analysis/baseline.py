@@ -1,0 +1,97 @@
+"""Committed finding baseline: grandfathered violations, tracked.
+
+A baseline lets the lint gate land while intentional exceptions are
+paid down: each entry grants exactly one matching finding (same rule,
+path, and message -- line numbers are ignored so unrelated edits do
+not churn the file).  Entries that no longer match anything are
+reported as stale so the file shrinks monotonically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.core import Finding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding, matched ignoring its line number."""
+
+    rule: str
+    path: str
+    message: str
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            self.rule == finding.rule
+            and self.path == finding.path
+            and self.message == finding.message
+        )
+
+    def to_json(self) -> dict[str, str]:
+        return {"rule": self.rule, "path": self.path, "message": self.message}
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered findings loaded from ``lint_baseline.json``."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        entries = [
+            BaselineEntry(
+                rule=item["rule"], path=item["path"], message=item["message"]
+            )
+            for item in data.get("findings", [])
+        ]
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(
+            entries=[
+                BaselineEntry(rule=f.rule, path=f.path, message=f.message)
+                for f in sorted(findings)
+            ]
+        )
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "note": (
+                "grandfathered repro-lint findings; every entry needs a "
+                "justification in DESIGN.md and should trend to zero"
+            ),
+            "findings": [entry.to_json() for entry in self.entries],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings into (new, baselined); also return stale entries.
+
+        Each entry absorbs at most one finding, so adding a second
+        violation of a grandfathered kind still fails the gate.
+        """
+        unused = list(self.entries)
+        new: list[Finding] = []
+        matched: list[Finding] = []
+        for finding in findings:
+            hit = next((e for e in unused if e.matches(finding)), None)
+            if hit is None:
+                new.append(finding)
+            else:
+                unused.remove(hit)
+                matched.append(finding)
+        return new, matched, unused

@@ -1,0 +1,188 @@
+"""``repro-lint`` console entry point.
+
+Runs every registered rule over the given paths (default: ``src``)
+and reports findings as ``path:line:col: rule: message`` lines or as
+a JSON document (``--format json``) suitable for recording alongside
+benchmark output.  Exit status is 0 when the tree is clean -- no
+unsuppressed, non-baselined findings, no parse errors, no stale
+baseline entries -- and 1 otherwise.
+
+Usage::
+
+    repro-lint src
+    repro-lint --format json src tests
+    repro-lint --rules determinism src
+    repro-lint --write-baseline lint_baseline.json src
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.core import AnalysisReport, Rule, all_rules, analyze_paths
+
+__all__ = ["json_payload", "main", "select_rules"]
+
+#: Baseline file picked up automatically when it exists in the
+#: current directory and ``--baseline``/``--no-baseline`` is absent.
+DEFAULT_BASELINE = "lint_baseline.json"
+
+
+def select_rules(selectors: Sequence[str] | None) -> tuple[Rule, ...]:
+    """Registered rules matching the ids/families given (all if none)."""
+    rules = all_rules()
+    if not selectors:
+        return rules
+    chosen = tuple(
+        rule
+        for rule in rules
+        if any(rule.id == s or rule.family == s for s in selectors)
+    )
+    if not chosen:
+        raise SystemExit(f"no rules match {', '.join(selectors)!s}")
+    return chosen
+
+
+def json_payload(
+    report: AnalysisReport,
+    rules: Sequence[Rule],
+    wall_seconds: float,
+    baselined: int = 0,
+    stale_baseline: int = 0,
+) -> dict[str, object]:
+    """The ``--format json`` document (also recorded by benchmarks)."""
+    return {
+        "files": report.files,
+        "wall_seconds": round(wall_seconds, 4),
+        "rules": report.rule_counts(rules),
+        "findings": [finding.to_json() for finding in report.findings],
+        "suppressed": len(report.suppressed),
+        "baselined": baselined,
+        "stale_baseline_entries": stale_baseline,
+        "parse_errors": list(report.parse_errors),
+    }
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    rules: Sequence[Rule] | None = None,
+    root: str | Path | None = None,
+) -> tuple[AnalysisReport, float]:
+    """Analyze ``paths``; returns the report and analyzer wall time."""
+    started = time.perf_counter()
+    report = analyze_paths(paths, rules=rules, root=root)
+    return report, time.perf_counter() - started
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism & architecture analyzer for the "
+            "reproduction; see DESIGN.md for the conventions enforced."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files/directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--rules",
+        nargs="+",
+        default=None,
+        metavar="RULE",
+        help="run only these rule ids or families",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "grandfathered-findings file (default: ./lint_baseline.json "
+            "when present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="PATH",
+        help="write current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    rules = select_rules(args.rules)
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}: {rule.summary}")
+        return 0
+
+    report, wall = run_lint(args.paths, rules=rules)
+
+    if args.write_baseline:
+        Baseline.from_findings(report.findings).save(args.write_baseline)
+        print(
+            f"wrote {len(report.findings)} finding(s) to {args.write_baseline}"
+        )
+        return 0
+
+    baseline_path = args.baseline
+    if baseline_path is None and not args.no_baseline:
+        candidate = Path(DEFAULT_BASELINE)
+        baseline_path = candidate if candidate.exists() else None
+    new, matched, stale = (report.findings, [], [])
+    if baseline_path is not None and not args.no_baseline:
+        new, matched, stale = Baseline.load(baseline_path).apply(report.findings)
+
+    failed = bool(new or report.parse_errors or stale)
+    if args.format == "json":
+        print(
+            json.dumps(
+                json_payload(
+                    report,
+                    rules,
+                    wall,
+                    baselined=len(matched),
+                    stale_baseline=len(stale),
+                ),
+                indent=2,
+            )
+        )
+        return 1 if failed else 0
+
+    for finding in new:
+        print(finding.render())
+    for error in report.parse_errors:
+        print(f"parse error: {error}")
+    for entry in stale:
+        print(
+            f"stale baseline entry ({entry.rule} in {entry.path}); "
+            "remove it from the baseline"
+        )
+    summary = (
+        f"{report.files} file(s), {len(new)} finding(s), "
+        f"{len(report.suppressed)} suppressed, {len(matched)} baselined, "
+        f"{wall:.2f}s"
+    )
+    print(("FAIL " if failed else "ok ") + summary)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,185 @@
+"""Error-contract rules: failures stay typed, output stays routed.
+
+The resilience layer (retry policies, circuit breakers, checkpoint
+resume) can only make guarantees because failures arrive as the typed
+:mod:`repro.platforms.errors` hierarchy with known retryability.  A
+bare ``except`` swallows the chaos layer's injected faults along with
+real bugs; an ad-hoc ``RuntimeError`` escaping a transport handler
+bypasses the status mapping clients rely on; a stray ``print`` in
+library code corrupts the rendered reports that the figure
+comparisons diff byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, rule
+
+__all__ = ["TRANSPORT_MODULES", "PRINT_ALLOWED_MODULES", "PRINT_ALLOWED_PREFIXES"]
+
+#: Modules forming the fake-HTTP transport layer: everything a request
+#: or response flows through between a client and a platform.
+TRANSPORT_MODULES = frozenset(
+    {
+        "repro.api.chaos",
+        "repro.api.client",
+        "repro.api.obfuscation",
+        "repro.api.routes",
+        "repro.api.transport",
+        "repro.api.wire",
+    }
+)
+
+#: Library modules allowed to print: CLI entry points own stdout.
+PRINT_ALLOWED_MODULES = frozenset(
+    {"repro.experiments.runner", "repro.analysis.cli"}
+)
+
+#: Package prefixes allowed to print (reporting renders to text).
+PRINT_ALLOWED_PREFIXES = ("repro.reporting",)
+
+#: Names of built-in exception types, for recognising untyped raises.
+_BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name, obj in vars(builtins).items()
+    if isinstance(obj, type) and issubclass(obj, BaseException)
+)
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _broad_names(handler_type: ast.AST | None) -> Iterator[str]:
+    if handler_type is None:
+        yield "bare except"
+        return
+    elements = (
+        handler_type.elts if isinstance(handler_type, ast.Tuple) else [handler_type]
+    )
+    for element in elements:
+        if isinstance(element, ast.Name) and element.id in _BROAD:
+            yield f"except {element.id}"
+
+
+@rule(
+    "errors/broad-except",
+    "no bare/broad except in src/; catch the typed platforms.errors "
+    "hierarchy (or a specific builtin)",
+)
+def check_broad_except(ctx: ModuleContext) -> Iterator[Finding]:
+    if not ctx.module.startswith("repro"):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        for shown in _broad_names(node.type):
+            yield ctx.finding(
+                "errors/broad-except",
+                node,
+                f"{shown} swallows injected chaos faults and real bugs "
+                "alike; catch PlatformError (or a narrower type)",
+            )
+
+
+def _request_handlers(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Functions that take part in request dispatch.
+
+    A function is on the request path when it takes a parameter named
+    ``request`` or annotated ``HttpRequest`` -- true of the transport's
+    dispatch method, every route handler, and every cost callable.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        params = list(node.args.posonlyargs) + list(node.args.args) + list(
+            node.args.kwonlyargs
+        )
+        for param in params:
+            annotation = getattr(param.annotation, "id", None) or getattr(
+                param.annotation, "attr", None
+            )
+            if param.arg == "request" or annotation == "HttpRequest":
+                yield node
+                break
+
+
+def _raises_outside_nested_defs(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.Raise]:
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # nested defs qualify (or not) on their own
+        if isinstance(node, ast.Raise):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@rule(
+    "errors/transport-raise",
+    "request-path code in the transport layer raises only "
+    "platforms.errors types",
+)
+def check_transport_raise(ctx: ModuleContext) -> Iterator[Finding]:
+    if ctx.module not in TRANSPORT_MODULES:
+        return
+    local_classes = {
+        node.name for node in ctx.tree.body if isinstance(node, ast.ClassDef)
+    }
+    for func in _request_handlers(ctx.tree):
+        for node in _raises_outside_nested_defs(func):
+            if node.exc is None:
+                continue  # re-raise keeps the original type
+            target = node.exc.func if isinstance(node.exc, ast.Call) else node.exc
+            resolved = ctx.resolve(target)
+            if resolved is not None:
+                if not resolved.startswith("repro.platforms"):
+                    yield ctx.finding(
+                        "errors/transport-raise",
+                        node,
+                        f"raising {resolved} from a request path; clients "
+                        "map failures to statuses via the platforms.errors "
+                        "hierarchy",
+                    )
+                continue
+            if not isinstance(target, ast.Name):
+                continue  # dynamic raise of a computed exception value
+            if target.id in _BUILTIN_EXCEPTIONS or target.id in local_classes:
+                yield ctx.finding(
+                    "errors/transport-raise",
+                    node,
+                    f"raising {target.id} from a request path; use a "
+                    "platforms.errors type so clients see a typed failure",
+                )
+
+
+@rule(
+    "errors/print",
+    "no print() in library code; rendering belongs to reporting and "
+    "CLI entry points",
+)
+def check_print(ctx: ModuleContext) -> Iterator[Finding]:
+    if not ctx.module.startswith("repro"):
+        return
+    if ctx.module in PRINT_ALLOWED_MODULES or ctx.module.startswith(
+        PRINT_ALLOWED_PREFIXES
+    ):
+        return
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+            and "print" not in ctx.bindings
+        ):
+            yield ctx.finding(
+                "errors/print",
+                node,
+                "print() in library code bypasses the reporting layer; "
+                "return renderable values or log via the runner",
+            )

@@ -22,7 +22,7 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass, replace
-from typing import Any, Mapping
+from typing import Any
 
 from repro.api.obfuscation import GoogleWireCodec
 from repro.api.transport import (

@@ -154,7 +154,7 @@ class FakeTransport:
         if callable(spec):
             try:
                 return max(1.0, float(spec(request)))
-            except Exception:
+            except PlatformError:
                 # Malformed bodies are the handler's problem (it returns
                 # a 400); charge the base cost.
                 return 1.0

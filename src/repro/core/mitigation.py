@@ -193,7 +193,7 @@ class OutcomeMonitor:
         n = len(history.reviews)
         from repro.core.metrics import FOUR_FIFTHS_HIGH, FOUR_FIFTHS_LOW
 
-        for label in labels:
+        for label in sorted(labels):
             over = sum(
                 1
                 for review in history.reviews

@@ -391,7 +391,12 @@ _LINKEDIN_CURATED: list[tuple[str, str, float | None, dict[AgeRange, float]]] = 
         None,
         {AgeRange.AGE_55_PLUS: 3.42},
     ),
-    ("Sciences", "Agronomy and Agricultural Sciences", None, {AgeRange.AGE_55_PLUS: 3.02}),
+    (
+        "Sciences",
+        "Agronomy and Agricultural Sciences",
+        None,
+        {AgeRange.AGE_55_PLUS: 3.02},
+    ),
     ("International Trade", "Economic Sanctions", None, {AgeRange.AGE_55_PLUS: 3.06}),
 ]
 

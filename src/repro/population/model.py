@@ -85,7 +85,8 @@ class AttributeSpec:
     def __post_init__(self) -> None:
         if len(self.beta_age) != len(AGE_RANGES):
             raise ValueError(
-                f"beta_age must have {len(AGE_RANGES)} entries, got {len(self.beta_age)}"
+                f"beta_age must have {len(AGE_RANGES)} entries, "
+                f"got {len(self.beta_age)}"
             )
 
     def loading_vector(self, n_factors: int) -> np.ndarray:

@@ -1,0 +1,638 @@
+"""Unit tests for the ``repro-lint`` rule set and engine.
+
+Each rule gets positive (finding), negative (clean), and suppressed
+fixture snippets, linted through the same entry point the tier-1 gate
+uses.  The seeded-RNG cases include the keyword-argument guard:
+``default_rng(seed=config.seed)`` must not be a false positive.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    Rule,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    module_name_for,
+    register,
+)
+
+
+def lint(
+    source: str,
+    module: str = "repro.core.example",
+    path: str = "src/repro/core/example.py",
+    rules=None,
+):
+    findings, suppressed = analyze_source(
+        textwrap.dedent(source), path=path, module=module, rules=rules
+    )
+    return findings, suppressed
+
+
+def rule_ids(findings) -> list[str]:
+    return [finding.rule for finding in findings]
+
+
+# -- determinism/wall-clock ----------------------------------------------
+
+
+def test_wall_clock_positive():
+    findings, _ = lint(
+        """
+        import time
+        from datetime import datetime
+
+        def stamp():
+            return time.time(), datetime.utcnow(), datetime.now()
+        """
+    )
+    assert rule_ids(findings) == ["determinism/wall-clock"] * 3
+    assert findings[0].line == 6
+
+
+def test_wall_clock_import_datetime_module_form():
+    findings, _ = lint(
+        """
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+        """
+    )
+    assert rule_ids(findings) == ["determinism/wall-clock"]
+
+
+def test_wall_clock_negative():
+    findings, _ = lint(
+        """
+        import time
+
+        def measure(clock):
+            started = time.perf_counter()
+            return clock.now(), time.perf_counter() - started
+        """
+    )
+    assert findings == []
+
+
+def test_wall_clock_local_name_is_not_resolved():
+    findings, _ = lint(
+        """
+        def run(time):
+            return time.time()
+        """
+    )
+    assert findings == []
+
+
+def test_wall_clock_suppressed_inline():
+    findings, suppressed = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # repro-lint: disable=determinism/wall-clock
+        """
+    )
+    assert findings == []
+    assert rule_ids(suppressed) == ["determinism/wall-clock"]
+
+
+# -- determinism/unseeded-rng --------------------------------------------
+
+
+def test_unseeded_rng_positive():
+    findings, _ = lint(
+        """
+        import os
+        import random
+        import uuid
+        import numpy as np
+
+        def entropy():
+            return (
+                random.random(),
+                random.Random(),
+                np.random.default_rng(),
+                np.random.RandomState(),
+                np.random.rand(3),
+                os.urandom(8),
+                uuid.uuid4(),
+            )
+        """
+    )
+    assert rule_ids(findings) == ["determinism/unseeded-rng"] * 7
+
+
+def test_unseeded_rng_none_seed_is_unseeded():
+    findings, _ = lint(
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(None)
+        other = np.random.default_rng(seed=None)
+        """
+    )
+    assert rule_ids(findings) == ["determinism/unseeded-rng"] * 2
+
+
+def test_seeded_rng_negative():
+    findings, _ = lint(
+        """
+        import random
+        import numpy as np
+
+        def rngs(config):
+            return (
+                random.Random(7),
+                np.random.default_rng(0),
+                np.random.default_rng(np.random.SeedSequence([1, 2])),
+                np.random.Generator(np.random.PCG64(3)),
+            )
+        """
+    )
+    assert findings == []
+
+
+def test_seeded_rng_keyword_seed_is_not_a_false_positive():
+    findings, _ = lint(
+        """
+        import numpy as np
+
+        def make(config):
+            return np.random.default_rng(seed=config.seed)
+        """
+    )
+    assert findings == []
+
+
+def test_unseeded_rng_from_import_form():
+    findings, _ = lint(
+        """
+        from numpy.random import default_rng
+        from random import shuffle
+
+        def run(items):
+            shuffle(items)
+            return default_rng()
+        """
+    )
+    assert rule_ids(findings) == ["determinism/unseeded-rng"] * 2
+
+
+# -- determinism/unordered-iteration -------------------------------------
+
+
+def test_unordered_iteration_positive_direct():
+    findings, _ = lint(
+        """
+        import os
+
+        def walk(options, path):
+            for name in os.listdir(path):
+                yield name
+            for option in set(options):
+                yield option
+            return [x for x in {1, 2, 3}]
+        """
+    )
+    assert rule_ids(findings) == ["determinism/unordered-iteration"] * 3
+
+
+def test_unordered_iteration_positive_through_assignment():
+    findings, _ = lint(
+        """
+        def serialize(items):
+            seen = frozenset(items)
+            return [str(x) for x in seen]
+        """
+    )
+    assert rule_ids(findings) == ["determinism/unordered-iteration"]
+
+
+def test_unordered_iteration_wrappers_do_not_launder():
+    findings, _ = lint(
+        """
+        def serialize(items):
+            for i, x in enumerate(list(set(items))):
+                yield i, x
+        """
+    )
+    assert rule_ids(findings) == ["determinism/unordered-iteration"]
+
+
+def test_unordered_iteration_sorted_negative():
+    findings, _ = lint(
+        """
+        import os
+
+        def serialize(items, path):
+            seen = set(items)
+            names = sorted(os.listdir(path))
+            for x in sorted(seen):
+                yield x
+            for i, x in enumerate(sorted(set(items))):
+                yield i, x
+            yield from names
+            total = sum(seen)
+            return total, (3 in seen)
+        """
+    )
+    assert findings == []
+
+
+def test_unordered_iteration_reassignment_clears_tracking():
+    findings, _ = lint(
+        """
+        def serialize(items):
+            seen = set(items)
+            seen = sorted(seen)
+            return [x for x in seen]
+        """
+    )
+    assert findings == []
+
+
+def test_unordered_iteration_file_suppression():
+    findings, suppressed = lint(
+        """
+        # repro-lint: disable=determinism/unordered-iteration
+        def a(items):
+            return [x for x in set(items)]
+
+        def b(items):
+            return [x for x in frozenset(items)]
+        """
+    )
+    assert findings == []
+    assert len(suppressed) == 2
+
+
+# -- layering ------------------------------------------------------------
+
+
+def test_upward_import_positive():
+    findings, _ = lint(
+        """
+        from repro.api.client import ReachClient
+        import repro.core.audit
+        """,
+        module="repro.population.model",
+        path="src/repro/population/model.py",
+    )
+    assert rule_ids(findings) == ["layering/upward-import"] * 2
+
+
+def test_downward_import_negative():
+    findings, _ = lint(
+        """
+        from repro.platforms.errors import ApiError
+        from repro.population.demographics import Gender
+        """,
+        module="repro.api.client",
+        path="src/repro/api/client.py",
+    )
+    assert findings == []
+
+
+def test_facade_import_only_from_top_layers():
+    source = "from repro import build_audit_session\n"
+    findings, _ = lint(source, module="repro.core.audit")
+    assert rule_ids(findings) == ["layering/upward-import"]
+    findings, _ = lint(
+        source,
+        module="repro.experiments.runner",
+        path="src/repro/experiments/runner.py",
+    )
+    assert findings == []
+
+
+def test_experiments_may_import_reporting_package_not_internals():
+    findings, _ = lint(
+        """
+        from repro.reporting import Table
+        from repro.reporting.serialize import audit_to_json
+        """,
+        module="repro.experiments.fig9_new",
+        path="src/repro/experiments/fig9_new.py",
+    )
+    assert rule_ids(findings) == ["layering/reporting-internals"]
+
+
+def test_reporting_must_not_import_experiments():
+    findings, _ = lint(
+        "from repro.experiments.context import ExperimentContext\n",
+        module="repro.reporting.tables",
+        path="src/repro/reporting/tables.py",
+    )
+    assert rule_ids(findings) == ["layering/upward-import"]
+
+
+def test_analysis_island_imports_nothing_from_repro():
+    findings, _ = lint(
+        "from repro.core.audit import AuditTarget\n",
+        module="repro.analysis.extra",
+        path="src/repro/analysis/extra.py",
+    )
+    assert rule_ids(findings) == ["layering/upward-import"]
+
+
+def test_relative_imports_resolve_before_layer_check():
+    findings, _ = lint(
+        "from ..api import client\n",
+        module="repro.population.model",
+        path="src/repro/population/model.py",
+    )
+    assert rule_ids(findings) == ["layering/upward-import"]
+
+
+def test_test_import_positive():
+    findings, _ = lint(
+        """
+        import pytest
+        from tests.conftest import helper
+        """,
+        module="repro.core.audit",
+    )
+    assert rule_ids(findings) == ["layering/test-import"] * 2
+
+
+def test_test_import_outside_src_is_fine():
+    findings, _ = lint(
+        "import pytest\n", module="tests.test_x", path="tests/test_x.py"
+    )
+    assert findings == []
+
+
+# -- error contracts -----------------------------------------------------
+
+
+def test_broad_except_positive():
+    findings, _ = lint(
+        """
+        def run(fn):
+            try:
+                fn()
+            except Exception:
+                return None
+            try:
+                fn()
+            except (ValueError, BaseException):
+                return None
+            try:
+                fn()
+            except:
+                return None
+        """
+    )
+    assert rule_ids(findings) == ["errors/broad-except"] * 3
+
+
+def test_typed_except_negative():
+    findings, _ = lint(
+        """
+        from repro.platforms.errors import PlatformError
+
+        def run(fn):
+            try:
+                fn()
+            except (PlatformError, ValueError):
+                return None
+        """
+    )
+    assert findings == []
+
+
+def test_transport_raise_positive():
+    findings, _ = lint(
+        """
+        def handler(request):
+            raise RuntimeError("boom")
+        """,
+        module="repro.api.transport",
+        path="src/repro/api/transport.py",
+    )
+    assert rule_ids(findings) == ["errors/transport-raise"]
+
+
+def test_transport_raise_wrong_module_import():
+    findings, _ = lint(
+        """
+        from json import JSONDecodeError
+
+        def dispatch(request):
+            raise JSONDecodeError("bad", "", 0)
+        """,
+        module="repro.api.routes",
+        path="src/repro/api/routes.py",
+    )
+    assert rule_ids(findings) == ["errors/transport-raise"]
+
+
+def test_transport_raise_typed_negative():
+    findings, _ = lint(
+        """
+        from repro.platforms.errors import BadRequestError
+
+        def handler(request):
+            if request.body is None:
+                raise BadRequestError("missing request body")
+            raise  # bare re-raise keeps the original type
+        """,
+        module="repro.api.wire",
+        path="src/repro/api/wire.py",
+    )
+    assert findings == []
+
+
+def test_transport_raise_only_on_request_paths():
+    findings, _ = lint(
+        """
+        def advance(self, seconds):
+            if seconds < 0:
+                raise ValueError("time cannot move backwards")
+        """,
+        module="repro.api.transport",
+        path="src/repro/api/transport.py",
+    )
+    assert findings == []
+
+
+def test_transport_raise_dynamic_value_is_skipped():
+    findings, _ = lint(
+        """
+        def handler(request, deferred):
+            raise deferred
+        """,
+        module="repro.api.routes",
+        path="src/repro/api/routes.py",
+    )
+    assert findings == []
+
+
+def test_print_positive_in_library_code():
+    findings, _ = lint("print('debug')\n", module="repro.core.audit")
+    assert rule_ids(findings) == ["errors/print"]
+
+
+def test_print_allowed_in_reporting_runner_and_cli():
+    for module in (
+        "repro.reporting.tables",
+        "repro.experiments.runner",
+        "repro.analysis.cli",
+    ):
+        findings, _ = lint("print('report')\n", module=module)
+        assert findings == [], module
+
+
+# -- engine: suppression, registry, baseline, paths ----------------------
+
+
+def test_directive_inside_string_literal_is_inert():
+    findings, _ = lint(
+        """
+        import time
+
+        MARKER = "# repro-lint: disable=determinism/wall-clock"
+
+        def stamp():
+            return time.time()
+        """
+    )
+    assert rule_ids(findings) == ["determinism/wall-clock"]
+
+
+def test_family_and_all_selectors():
+    findings, suppressed = lint(
+        """
+        # repro-lint: disable=determinism
+        import time
+
+        def stamp():
+            return time.time()
+        """
+    )
+    assert findings == []
+    assert len(suppressed) == 1
+    findings, suppressed = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # repro-lint: disable=all
+        """
+    )
+    assert findings == []
+    assert len(suppressed) == 1
+
+
+def test_unrelated_suppression_does_not_hide_finding():
+    findings, _ = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # repro-lint: disable=errors/print
+        """
+    )
+    assert rule_ids(findings) == ["determinism/wall-clock"]
+
+
+def test_duplicate_rule_registration_rejected():
+    with pytest.raises(ValueError):
+        register(
+            Rule(
+                id="determinism/wall-clock",
+                summary="dup",
+                check=lambda ctx: [],
+            )
+        )
+
+
+def test_rules_are_filterable():
+    source = """
+        import time
+
+        def run():
+            print('x')
+            return time.time()
+        """
+    only_prints = [r for r in all_rules() if r.id == "errors/print"]
+    findings, _ = lint(source, rules=only_prints)
+    assert rule_ids(findings) == ["errors/print"]
+
+
+def test_module_name_for_resolves_packages(tmp_path):
+    pkg = tmp_path / "pkg" / "sub"
+    pkg.mkdir(parents=True)
+    (tmp_path / "pkg" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / "mod.py").write_text("")
+    assert module_name_for(pkg / "mod.py") == ("pkg.sub.mod", False)
+    assert module_name_for(pkg / "__init__.py") == ("pkg.sub", True)
+    assert module_name_for(tmp_path / "loose.py")[0] == "loose"
+
+
+def test_analyze_paths_reports_rule_and_location(tmp_path):
+    victim = tmp_path / "audit.py"
+    victim.write_text("import time\nstamp = time.time()\n", encoding="utf-8")
+    report = analyze_paths([tmp_path], root=tmp_path)
+    assert report.files == 1
+    assert [f.rule for f in report.findings] == ["determinism/wall-clock"]
+    assert report.findings[0].location() == "audit.py:2:8"
+    assert "determinism/wall-clock" in report.findings[0].render()
+
+
+def test_analyze_paths_collects_parse_errors(tmp_path):
+    (tmp_path / "broken.py").write_text("def f(:\n", encoding="utf-8")
+    report = analyze_paths([tmp_path], root=tmp_path)
+    assert report.findings == []
+    assert len(report.parse_errors) == 1
+    assert not report.clean
+
+
+def test_baseline_absorbs_each_entry_once(tmp_path):
+    finding = Finding(
+        path="src/repro/core/x.py",
+        line=3,
+        col=0,
+        rule="errors/print",
+        message="msg",
+    )
+    moved = Finding(
+        path="src/repro/core/x.py",
+        line=99,
+        col=4,
+        rule="errors/print",
+        message="msg",
+    )
+    baseline = Baseline.from_findings([finding])
+    path = tmp_path / "baseline.json"
+    baseline.save(path)
+    loaded = Baseline.load(path)
+
+    new, matched, stale = loaded.apply([moved])
+    assert (new, matched, stale) == ([], [moved], [])
+
+    # A second identical violation is not covered by the single entry.
+    new, matched, stale = loaded.apply([moved, finding])
+    assert matched == [moved] and new == [finding]
+
+    # Entries matching nothing are reported stale.
+    new, matched, stale = loaded.apply([])
+    assert stale == loaded.entries
+
+
+def test_baseline_roundtrip_is_json(tmp_path):
+    path = tmp_path / "baseline.json"
+    Baseline.from_findings([]).save(path)
+    data = json.loads(path.read_text())
+    assert data["findings"] == []

@@ -7,7 +7,6 @@ import pytest
 
 from repro.platforms.audiences import (
     MIN_MATCHED_USERS,
-    AudienceService,
     TrackingPixel,
 )
 from repro.platforms.errors import TargetingError, UnknownOptionError

@@ -25,8 +25,6 @@ from repro.reporting.serialize import (
     audit_from_json,
     audit_to_json,
     box_stats_to_json,
-    composition_set_from_json,
-    composition_set_to_json,
     dump_composition_set,
     load_composition_set,
     value_from_json,

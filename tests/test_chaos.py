@@ -125,7 +125,9 @@ class TestFaultMatrix:
         assert transport.clock.now() == plain.clock.now()
 
     @pytest.mark.slow
-    @pytest.mark.parametrize("interface_key", ["facebook_restricted", "google", "linkedin"])
+    @pytest.mark.parametrize(
+        "interface_key", ["facebook_restricted", "google", "linkedin"]
+    )
     def test_storm_bit_identical_on_every_interface(
         self, interface_key, session_small
     ):

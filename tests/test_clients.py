@@ -4,16 +4,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.api import FakeTransport, build_clients, mount_suite_routes
+from repro.api import FakeTransport, mount_suite_routes
 from repro.api.client import FacebookReachClient
 from repro.platforms.errors import (
     ApiError,
     DisallowedTargetingError,
-    NoSizeEstimateError,
     UnsupportedCompositionError,
 )
 from repro.platforms.targeting import TargetingSpec
-from repro.population.demographics import AgeRange, Gender
+from repro.population.demographics import Gender
 
 
 @pytest.fixture(scope="module")

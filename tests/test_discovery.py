@@ -13,11 +13,7 @@ from repro.core.discovery import (
     skewed_compositions,
     smallest_k_for_combinations,
 )
-from repro.population.demographics import (
-    SENSITIVE_ATTRIBUTES,
-    AgeRange,
-    Gender,
-)
+from repro.population.demographics import SENSITIVE_ATTRIBUTES, Gender
 
 GENDER = SENSITIVE_ATTRIBUTES["gender"]
 

@@ -22,7 +22,6 @@ from repro.experiments import (
     fig3_removal,
     fig4_ages,
     fig5_recall,
-    fig6_removal_ages,
     methodology,
     table1_overlap,
     tables23_examples,

@@ -7,7 +7,6 @@ hold on the simulated platforms.
 
 from __future__ import annotations
 
-import math
 
 import pytest
 

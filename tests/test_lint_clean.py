@@ -1,0 +1,81 @@
+"""Tier-1 gate: ``repro-lint`` finds nothing unsuppressed in ``src/``.
+
+This is the standing correctness gate for refactors: a stray
+``time.time()``, unseeded RNG, upward import, broad except, or
+library ``print`` anywhere under ``src/`` fails this test with the
+rule name and ``file:line`` of the violation.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, all_rules, analyze_paths, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "lint_baseline.json"
+
+
+def test_src_tree_is_lint_clean():
+    report = analyze_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+    assert not report.parse_errors, report.parse_errors
+    new, _, stale = Baseline.load(BASELINE).apply(report.findings)
+    details = "\n".join(finding.render() for finding in new)
+    assert not new, f"repro-lint found unbaselined violations:\n{details}"
+    assert not stale, f"stale baseline entries: {stale}"
+
+
+def test_every_rule_family_is_loaded():
+    families = {rule.family for rule in all_rules()}
+    assert families == {"determinism", "layering", "errors"}
+    assert len(all_rules()) >= 8
+
+
+def test_cli_exits_zero_on_clean_tree(capsys):
+    code = main(
+        [
+            str(REPO_ROOT / "src"),
+            "--baseline",
+            str(BASELINE),
+            "--format",
+            "json",
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["findings"] == []
+    assert payload["parse_errors"] == []
+    assert set(payload["rules"]) == {rule.id for rule in all_rules()}
+    assert all(count == 0 for count in payload["rules"].values())
+    assert payload["files"] >= 60
+    assert payload["wall_seconds"] > 0
+
+
+def test_cli_fails_on_seeded_violation(tmp_path, capsys):
+    """A wall-clock read injected into a core-like module fails the CLI."""
+    victim = tmp_path / "audit.py"
+    victim.write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n",
+        encoding="utf-8",
+    )
+    code = main([str(victim), "--no-baseline"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "determinism/wall-clock" in out
+    assert "audit.py:5" in out
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    result = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -235,7 +235,9 @@ class TestLinkedIn:
 
     def test_demographic_option_lookup_error(self, linkedin_platform):
         with pytest.raises(KeyError):
-            linkedin_platform.interface.demographic_option_id("toddler")  # type: ignore[arg-type]
+            linkedin_platform.interface.demographic_option_id(
+                "toddler"  # type: ignore[arg-type]
+            )
 
     def test_estimate_floor(self, linkedin_platform):
         li = linkedin_platform.interface

@@ -10,11 +10,7 @@ from hypothesis import strategies as st
 
 from repro.core.results import CompositionSet, TargetingAudit
 from repro.core.stats import BoxStats, fraction_outside_four_fifths
-from repro.population.demographics import (
-    SENSITIVE_ATTRIBUTES,
-    AgeRange,
-    Gender,
-)
+from repro.population.demographics import SENSITIVE_ATTRIBUTES, Gender
 
 GENDER = SENSITIVE_ATTRIBUTES["gender"]
 BASES = {Gender.MALE: 1000, Gender.FEMALE: 1000}

@@ -140,7 +140,11 @@ class TestSpecIntersectionProperties:
         ba = spec_intersection(b, a)
         assert {c.options for c in ab.clauses} == {c.options for c in ba.clauses}
 
-    @given(st.lists(st.lists(option_ids, min_size=1, max_size=3), min_size=1, max_size=4))
+    @given(
+        st.lists(
+            st.lists(option_ids, min_size=1, max_size=3), min_size=1, max_size=4
+        )
+    )
     @settings(max_examples=50, deadline=None)
     def test_self_intersection_is_identity_on_clause_sets(self, groups):
         a = TargetingSpec.and_of_ors(groups)
