@@ -55,3 +55,40 @@ def test_python_set_intersection_baseline(benchmark, py_sets):
     count = benchmark(lambda: len(a & b & c))
     assert count > 0
     benchmark.extra_info["note"] = "compare against test_bitset_and_popcount"
+
+
+def test_popcount_bitwise_count(benchmark, vectors):
+    """Hardware-popcount path: np.bitwise_count over packed words.
+
+    The gated fast path of ``_popcount_words`` (numpy >= 2.0); compare
+    against ``test_popcount_unpackbits_fallback`` to see what the gate
+    buys on this host.
+    """
+    if not hasattr(np, "bitwise_count"):
+        pytest.skip("numpy has no bitwise_count on this host")
+    words = vectors[2].words
+    count = benchmark(lambda: int(np.bitwise_count(words).sum()))
+    assert count > 0
+    benchmark.extra_info["records"] = N_RECORDS
+
+
+def test_popcount_unpackbits_fallback(benchmark, vectors):
+    """Fallback popcount: unpack every byte to bits, then sum."""
+    words = vectors[2].words
+    count = benchmark(
+        lambda: int(np.unpackbits(words.view(np.uint8)).sum())
+    )
+    assert count > 0
+    benchmark.extra_info["records"] = N_RECORDS
+
+
+def test_fused_intersect_count_vs_materialised(benchmark, vectors):
+    """The zero-alloc fused path against AND-then-count.
+
+    ``intersect_count`` writes the AND into a reused scratch buffer
+    and popcounts in place; this bench documents its edge over
+    materialising the intermediate BitVector.
+    """
+    a, b, _ = vectors
+    fused = benchmark(lambda: a.intersect_count(b))
+    assert fused == (a & b).count()

@@ -114,6 +114,7 @@ def build_audit_session(
     rate_limit: float | None = None,
     chaos: FaultProfile | str | None = None,
     chaos_seed: int = 1031,
+    populations: dict | None = None,
 ) -> AuditSession:
     """Construct the full simulation + audit stack.
 
@@ -143,9 +144,18 @@ def build_audit_session(
     chaos_seed:
         Seed of the fault sequence; the same seed replays the same
         faults.
+    populations:
+        Optional pre-realised populations by platform name, forwarded
+        to :func:`repro.platforms.build_platform_suite` -- the parallel
+        engine's workers rehydrate populations from shared memory and
+        build their sessions through this without regenerating them.
     """
     suite = build_platform_suite(
-        n_records=n_records, seed=seed, model=model, rounding=rounding
+        n_records=n_records,
+        seed=seed,
+        model=model,
+        rounding=rounding,
+        populations=populations,
     )
     transport: FakeTransport | ChaosTransport = FakeTransport(
         clock=VirtualClock(), rate=rate_limit

@@ -35,7 +35,13 @@ TRANSPORT_MODULES = frozenset(
 
 #: Library modules allowed to print: CLI entry points own stdout.
 PRINT_ALLOWED_MODULES = frozenset(
-    {"repro.experiments.runner", "repro.analysis.cli"}
+    {
+        "repro.experiments.runner",
+        # The parallel engine narrates shard progress for the runner's
+        # --jobs path, mirroring the sequential runner's verbose mode.
+        "repro.parallel.engine",
+        "repro.analysis.cli",
+    }
 )
 
 #: Package prefixes allowed to print (reporting renders to text).

@@ -113,7 +113,12 @@ def rule(rule_id: str, summary: str) -> Callable[[RuleCheck], RuleCheck]:
 
 def _load_builtin_rules() -> None:
     # Imported for their registration side effects only.
-    from repro.analysis import contracts, determinism, layering  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        contracts,
+        determinism,
+        layering,
+        parallel_rules,
+    )
 
 
 def all_rules() -> tuple[Rule, ...]:

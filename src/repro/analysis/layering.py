@@ -29,6 +29,10 @@ LAYERS = {
     "core": 3,
     "reporting": 4,
     "experiments": 5,
+    # The parallel engine shards experiment modules across processes,
+    # and the experiments runner dispatches to it: a deliberate
+    # same-rank pairing at the top of the stack.
+    "parallel": 5,
 }
 
 #: Importing the ``repro`` facade pulls in everything up to ``core``,

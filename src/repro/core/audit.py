@@ -115,6 +115,40 @@ class AuditTarget:
         if self._checkpoint is not None:
             self._checkpoint.record(interface_key, spec, estimate)
 
+    # -- cache-state transfer (parallel engine) -----------------------------
+
+    def export_cache_state(self) -> dict:
+        """Estimate cache plus hit/miss counters, in a picklable form.
+
+        The parallel engine ships this from worker targets back to the
+        parent, whose targets then hold exactly the estimates a
+        sequential run would have cached (each interface's queries run
+        in one worker, so shards never conflict).
+        """
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "shards": {
+                key: list(shard.items()) for key, shard in self._cache.items()
+            },
+        }
+
+    def absorb_cache_state(self, state: dict) -> None:
+        """Fold a worker target's exported cache into this target.
+
+        Estimates are recorded into any attached checkpoint as well, so
+        a parallel run persists the same entries a sequential run
+        would.  Overlapping entries must agree (same seed, same
+        platform); they are simply overwritten.
+        """
+        self.cache_hits += state["hits"]
+        self.cache_misses += state["misses"]
+        for interface_key, entries in state["shards"].items():
+            shard = self._cache.setdefault(interface_key, {})
+            for spec, estimate in entries:
+                shard[spec] = estimate
+                self._record_estimate(interface_key, spec, estimate)
+
     # -- catalog ------------------------------------------------------------
 
     def study_options(self) -> list[CatalogOption]:

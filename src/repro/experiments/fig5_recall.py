@@ -26,11 +26,21 @@ from dataclasses import dataclass, field
 
 from repro.core import CompositionSet
 from repro.core.stats import BoxStats
-from repro.experiments.context import ExperimentContext
+from repro.experiments.context import TARGET_LABELS, ExperimentContext
 from repro.experiments.populations import FIG5_POPULATIONS, FavoredPopulation
 from repro.reporting import Table, format_count, format_percent
 
-__all__ = ["RecallPanel", "Fig5Result", "run"]
+__all__ = [
+    "RecallPanel",
+    "Fig5Result",
+    "run",
+    "run_part",
+    "merge_parts",
+    "PARTS",
+]
+
+#: Parallel shard keys: one per audited interface.
+PARTS: tuple[str, ...] = tuple(TARGET_LABELS)
 
 
 @dataclass
@@ -113,28 +123,28 @@ def _recalls(
     return [population.recall(a) for a in audits]
 
 
-def run(
+def run_part(
     ctx: ExperimentContext,
+    part: str,
     populations: tuple[FavoredPopulation, ...] = FIG5_POPULATIONS,
-    keys: tuple[str, ...] | None = None,
-) -> Fig5Result:
-    """Run E5 against the shared context."""
-    result = Fig5Result()
+) -> dict[str, RecallPanel]:
+    """All population panels for one interface, keyed by label."""
+    panels: dict[str, RecallPanel] = {}
     for population in populations:
         attribute = population.attribute
-        for key in keys or tuple(ctx.target_keys):
-            target = ctx.target(key)
-            individual = ctx.individuals(key, attribute.name).filtered(
-                ctx.config.min_reach
-            )
-            random_set = ctx.random_set(key, attribute.name).filtered(
-                ctx.config.min_reach
-            )
-            top_set = ctx.skewed_set(
-                key, population.value, population.direction
-            ).filtered(ctx.config.min_reach)
-            bases = target.base_sizes(attribute)
-            panel = RecallPanel(
+        key = part
+        target = ctx.target(key)
+        individual = ctx.individuals(key, attribute.name).filtered(
+            ctx.config.min_reach
+        )
+        random_set = ctx.random_set(key, attribute.name).filtered(
+            ctx.config.min_reach
+        )
+        top_set = ctx.skewed_set(
+            key, population.value, population.direction
+        ).filtered(ctx.config.min_reach)
+        bases = target.base_sizes(attribute)
+        panels[population.label] = RecallPanel(
                 population=population,
                 target_key=key,
                 population_size=population.population_size(bases),
@@ -165,5 +175,28 @@ def run(
                     ),
                 ],
             )
-            result.panels[(population.label, key)] = panel
+    return panels
+
+
+def merge_parts(
+    parts: dict[str, dict[str, RecallPanel]],
+    populations: tuple[FavoredPopulation, ...] = FIG5_POPULATIONS,
+) -> Fig5Result:
+    """Interleave per-interface shards back into population-major order."""
+    result = Fig5Result()
+    for population in populations:
+        for key in parts:
+            result.panels[(population.label, key)] = parts[key][population.label]
     return result
+
+
+def run(
+    ctx: ExperimentContext,
+    populations: tuple[FavoredPopulation, ...] = FIG5_POPULATIONS,
+    keys: tuple[str, ...] | None = None,
+) -> Fig5Result:
+    """Run E5 against the shared context."""
+    keys = keys or tuple(ctx.target_keys)
+    return merge_parts(
+        {key: run_part(ctx, key, populations) for key in keys}, populations
+    )

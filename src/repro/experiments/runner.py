@@ -11,12 +11,17 @@ truncated batches) which the clients' resilience layer absorbs, and
 killed run resumes without re-querying -- output stays bit-identical
 either way.
 
+``--jobs N`` shards the experiments across worker processes by
+platform interface group (``repro.parallel``); results, query counts,
+and rendered reports are bit-identical to a sequential run.
+
 CLI usage::
 
     repro-audit --scale small
     repro-audit --scale full --out results.txt
     repro-audit --only fig1 table1 --records 60000
     repro-audit --chaos storm --checkpoint run.ckpt.json
+    repro-audit --jobs 4            # 0 = one worker per CPU
 """
 
 from __future__ import annotations
@@ -46,6 +51,7 @@ from repro.experiments import (
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
+from repro.parallel.engine import resolve_jobs, run_parallel
 
 __all__ = ["EXPERIMENTS", "RunReport", "run_all", "main"]
 
@@ -79,6 +85,10 @@ class RunReport:
     results: dict[str, object] = field(default_factory=dict)
     durations: dict[str, float] = field(default_factory=dict)
     total_api_requests: int = 0
+    #: End-to-end wall time of the run, including session build.
+    total_wall: float = 0.0
+    #: Worker processes the run used (1 = sequential).
+    jobs: int = 1
 
     def render(self) -> str:
         parts = [
@@ -97,6 +107,9 @@ class RunReport:
             f"Total simulated API requests: {self.total_api_requests:,} "
             "(paper: 80,000+ per platform)"
         )
+        parts.append(
+            f"Total wall time: {self.total_wall:.1f}s (jobs={self.jobs})"
+        )
         return "\n".join(parts)
 
 
@@ -108,6 +121,7 @@ def run_all(
     chaos: FaultProfile | str | None = None,
     chaos_seed: int = 1031,
     checkpoint: EstimateCheckpoint | str | Path | None = None,
+    jobs: int = 1,
 ) -> RunReport:
     """Run the selected experiments over one shared context.
 
@@ -119,8 +133,44 @@ def run_all(
     an experiment raises mid-run -- e.g. an exhausted circuit breaker
     during an outage -- and a re-run with the same checkpoint resumes
     without re-issuing them, producing bit-identical output.
+
+    ``jobs`` > 1 dispatches to :func:`repro.parallel.run_parallel`
+    (``0`` means one worker per CPU); the report is bit-identical to a
+    sequential run apart from wall times.  Parallel runs build their
+    own per-worker sessions, so an explicit ``context`` is rejected.
     """
     config = config or ExperimentConfig.full()
+    names = list(only or EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+
+    started_wall = time.perf_counter()
+    effective_jobs = resolve_jobs(jobs)
+    if effective_jobs > 1:
+        if context is not None:
+            raise ValueError(
+                "jobs > 1 builds its own per-worker sessions; pass a "
+                "config instead of an explicit context"
+            )
+        run = run_parallel(
+            config,
+            names,
+            effective_jobs,
+            chaos=chaos,
+            chaos_seed=chaos_seed,
+            checkpoint=checkpoint,
+            verbose=verbose,
+        )
+        return RunReport(
+            config=config,
+            results=run.results,
+            durations=run.durations,
+            total_api_requests=run.total_api_requests,
+            total_wall=time.perf_counter() - started_wall,
+            jobs=effective_jobs,
+        )
+
     if context is None and chaos is not None:
         session = build_audit_session(
             n_records=config.n_records,
@@ -130,10 +180,6 @@ def run_all(
         )
         context = ExperimentContext(config, session=session)
     ctx = context or ExperimentContext(config)
-    names = list(only or EXPERIMENTS)
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        raise KeyError(f"unknown experiments: {unknown}")
 
     store: EstimateCheckpoint | None = None
     if checkpoint is not None:
@@ -166,6 +212,7 @@ def run_all(
         if store is not None and store.path is not None:
             store.save()
     report.total_api_requests = ctx.session.total_api_requests()
+    report.total_wall = time.perf_counter() - started_wall
     return report
 
 
@@ -189,6 +236,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--seed", type=int, default=None, help="override the root seed"
+    )
+    parser.add_argument(
+        "--compositions",
+        type=int,
+        default=None,
+        help="override compositions per Random/Top/Bottom set",
     )
     parser.add_argument(
         "--only",
@@ -221,15 +274,30 @@ def main(argv: list[str] | None = None) -> int:
             "file if it already exists"
         ),
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes to shard the experiments across "
+            "(default: 1 = sequential; 0 = one per CPU); output is "
+            "bit-identical to a sequential run"
+        ),
+    )
     args = parser.parse_args(argv)
 
     config = getattr(ExperimentConfig, args.scale)()
     if args.records is not None:
         config = config.with_records(args.records)
-    if args.seed is not None:
+    if args.seed is not None or args.compositions is not None:
         from dataclasses import replace
 
-        config = replace(config, seed=args.seed)
+        overrides = {}
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.compositions is not None:
+            overrides["n_compositions"] = args.compositions
+        config = replace(config, **overrides)
 
     report = run_all(
         config=config,
@@ -238,6 +306,7 @@ def main(argv: list[str] | None = None) -> int:
         chaos=args.chaos,
         chaos_seed=args.chaos_seed,
         checkpoint=args.checkpoint,
+        jobs=args.jobs,
     )
     text = report.render()
     print(text)

@@ -1,0 +1,254 @@
+"""Shared-memory export and rehydration of platform populations.
+
+The populations dominate an audit session's memory and build time:
+three platforms' demographic code arrays, latent interest matrices,
+and packed attribute bitsets.  Regenerating them per worker would both
+triple the memory bill and add seconds of startup per process.
+Instead the parent exports each realised
+:class:`~repro.population.generator.Population` once into a
+``multiprocessing.shared_memory`` block, and workers rehydrate
+zero-copy views: every :class:`~repro.population.bitsets.BitVector`
+a worker resolves targeting specs against wraps uint64 words living
+in the parent's block.
+
+Block layout (one block per population, 8-byte aligned sections):
+
+1. a 2-D ``uint64`` matrix stacking every bitset's packed words --
+   attribute vectors in registration order, then the gender base
+   vectors, then the age-range base vectors;
+2. the per-record ``uint8`` gender and age code arrays;
+3. the ``(n_records, K)`` float latent interest matrix.
+
+A picklable :class:`PopulationManifest` carries the block name plus
+offsets/shapes/dtypes; the latent-factor model itself is tiny and
+ships by pickle inside the shard task.
+
+Lifecycle: the parent owns every block (created here, unlinked in
+:meth:`SharedAudienceIndex.close`).  Attaching from a worker would
+also register the block with the (shared) ``resource_tracker``
+(CPython gh-82300, fixed only in 3.13's ``track=False``), whose
+cleanup would fight the parent's -- :func:`attach_population`
+therefore suppresses registration during the attach.  The worker-side
+handle is then detached from the mapping entirely: the mmap lives and
+dies with the numpy views built over it, so no destructor ever tries
+to close a buffer that live views pin.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.population.bitsets import AudienceIndex, BitVector
+from repro.population.demographics import AGE_RANGES, GENDERS
+from repro.population.generator import Population
+from repro.population.model import LatentFactorModel
+
+__all__ = [
+    "ArraySpec",
+    "PopulationManifest",
+    "SharedAudienceIndex",
+    "attach_population",
+]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Location of one array inside a shared-memory block."""
+
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class PopulationManifest:
+    """Everything a worker needs to rehydrate one population."""
+
+    block_name: str
+    n_records: int
+    scale: float
+    seed: int
+    attr_ids: tuple[str, ...]
+    words: ArraySpec
+    gender_codes: ArraySpec
+    age_codes: ArraySpec
+    latents: ArraySpec
+
+
+def _align(offset: int, alignment: int = 8) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+def _view(buf, spec: ArraySpec) -> np.ndarray:
+    """Numpy view over one manifest section (no copy)."""
+    count = math.prod(spec.shape)
+    return np.frombuffer(
+        buf, dtype=np.dtype(spec.dtype), count=count, offset=spec.offset
+    ).reshape(spec.shape)
+
+
+class SharedAudienceIndex:
+    """Parent-side exporter and owner of population blocks.
+
+    Usage::
+
+        shared = SharedAudienceIndex()
+        try:
+            manifests = shared.export_suite(session.suite)
+            ... dispatch ShardTasks carrying the manifests ...
+        finally:
+            shared.close()
+
+    Block names are kernel-generated (``SharedMemory(create=True)``
+    with no name), so concurrent engines never collide and no process
+    state is needed to keep names unique.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: list[shared_memory.SharedMemory] = []
+        self.manifests: dict[str, PopulationManifest] = {}
+
+    def export_population(
+        self, name: str, population: Population
+    ) -> PopulationManifest:
+        """Copy one population into a fresh shared-memory block."""
+        index = population.index
+        attr_ids = tuple(index)
+        rows: list[BitVector] = [index.attribute(a) for a in attr_ids]
+        rows += [index.gender(g) for g in GENDERS]
+        rows += [index.age(a) for a in AGE_RANGES]
+        n = population.n_records
+        n_words = rows[0].words.shape[0]
+
+        words_spec = ArraySpec(0, (len(rows), n_words), "uint64")
+        offset = len(rows) * n_words * 8
+        gender_spec = ArraySpec(_align(offset), (n,), str(population.gender_codes.dtype))
+        offset = gender_spec.offset + population.gender_codes.nbytes
+        age_spec = ArraySpec(_align(offset), (n,), str(population.age_codes.dtype))
+        offset = age_spec.offset + population.age_codes.nbytes
+        latents_spec = ArraySpec(
+            _align(offset),
+            tuple(population.latents.shape),
+            str(population.latents.dtype),
+        )
+        total = latents_spec.offset + population.latents.nbytes
+
+        block = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        self._blocks.append(block)
+        words_view = _view(block.buf, words_spec)
+        for i, vector in enumerate(rows):
+            words_view[i, :] = vector.words
+        _view(block.buf, gender_spec)[:] = population.gender_codes
+        _view(block.buf, age_spec)[:] = population.age_codes
+        _view(block.buf, latents_spec)[:] = population.latents
+        # Drop our views before workers attach; the parent only needs
+        # the handle for the eventual unlink.
+        del words_view
+
+        manifest = PopulationManifest(
+            block_name=block.name,
+            n_records=n,
+            scale=population.scale,
+            seed=population.seed,
+            attr_ids=attr_ids,
+            words=words_spec,
+            gender_codes=gender_spec,
+            age_codes=age_spec,
+            latents=latents_spec,
+        )
+        self.manifests[name] = manifest
+        return manifest
+
+    def export_suite(self, suite) -> dict[str, PopulationManifest]:
+        """Export all three platform populations of a suite."""
+        for name in ("facebook", "google", "linkedin"):
+            self.export_population(name, getattr(suite, name).population)
+        return dict(self.manifests)
+
+    def close(self) -> None:
+        """Close and unlink every exported block (idempotent)."""
+        while self._blocks:
+            block = self._blocks.pop()
+            try:
+                block.close()
+            finally:
+                try:
+                    block.unlink()
+                except FileNotFoundError:
+                    pass
+
+    def __enter__(self) -> "SharedAudienceIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def attach_population(
+    manifest: PopulationManifest, model: LatentFactorModel
+) -> Population:
+    """Worker-side zero-copy rehydration of an exported population.
+
+    The returned population's arrays are views over the parent's
+    shared-memory block; the underlying mapping stays alive exactly as
+    long as those views do.  All views are marked read-only: workers
+    share the physical pages, so a stray write would corrupt sibling
+    shards.
+    """
+    # Attaching registers the block with the resource tracker shared
+    # with the parent (CPython gh-82300; ``track=False`` only exists
+    # from 3.13), whose cleanup would fight the parent's ownership.
+    # Suppress the registration for the duration of the attach.
+    register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        block = shared_memory.SharedMemory(name=manifest.block_name)
+    finally:
+        resource_tracker.register = register
+
+    buf = block.buf
+    words = _view(buf, manifest.words)
+    gender_codes = _view(buf, manifest.gender_codes)
+    age_codes = _view(buf, manifest.age_codes)
+    latents = _view(buf, manifest.latents)
+    for array in (words, gender_codes, age_codes, latents):
+        array.flags.writeable = False
+
+    # Detach the handle from the mapping: the numpy views keep the
+    # mmap alive through ``buf``, and the handle's destructor must
+    # never try to close a buffer that live views pin (BufferError).
+    # The fd is not needed once mapped.
+    block._buf = None
+    block._mmap = None
+    if block._fd >= 0:
+        os.close(block._fd)
+        block._fd = -1
+
+    n = manifest.n_records
+    n_attrs = len(manifest.attr_ids)
+    attrs = {
+        attr_id: BitVector(words[i], n)
+        for i, attr_id in enumerate(manifest.attr_ids)
+    }
+    gender = {
+        g: BitVector(words[n_attrs + j], n) for j, g in enumerate(GENDERS)
+    }
+    age = {
+        a: BitVector(words[n_attrs + len(GENDERS) + j], n)
+        for j, a in enumerate(AGE_RANGES)
+    }
+    index = AudienceIndex.from_vectors(n, attrs, gender, age)
+    return Population(
+        gender_codes=gender_codes,
+        age_codes=age_codes,
+        latents=latents,
+        scale=manifest.scale,
+        index=index,
+        model=model,
+        seed=manifest.seed,
+    )

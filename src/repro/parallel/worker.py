@@ -1,0 +1,142 @@
+"""Worker-side execution of one shard.
+
+:func:`run_shard` is the function the engine submits to its process
+pool.  It is a plain top-level function taking one picklable
+:class:`~repro.parallel.plan.ShardTask` and returning one picklable
+:class:`ShardResult`, so it works identically under the ``fork`` and
+``spawn`` start methods.
+
+A worker rebuilds its *own* full audit stack -- fake transport,
+virtual clock, reach clients, audit targets, experiment context --
+over populations rehydrated zero-copy from the parent's shared-memory
+blocks.  It then runs every cell of its group in experiment registry
+order, which makes per-interface cache evolution (estimate caches,
+interface memos, the pooled estimates the methodology study analyses)
+identical to a sequential run.  The result carries the per-part
+experiment outputs plus every counter and cache the parent must merge
+to stay indistinguishable from having done the work itself.
+
+Errors follow the sequential contract: the first failing cell stops
+the shard, but everything completed before it -- results, caches,
+counters -- still ships back, so the parent can persist checkpoints
+before re-raising.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import build_audit_session
+from repro.api.chaos import ChaosTransport
+from repro.core.checkpoint import EstimateCheckpoint
+from repro.experiments.context import ExperimentContext
+from repro.parallel.plan import EXPERIMENT_MODULES, ShardTask, derive_chaos_seed
+from repro.parallel.shm import attach_population
+
+__all__ = ["ShardResult", "run_shard"]
+
+
+@dataclass
+class ShardResult:
+    """Everything one worker ships back to the engine."""
+
+    group: str
+    #: experiment name -> part key -> that part's result object.
+    results: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: experiment name -> seconds this shard spent on it.
+    durations: dict[str, float] = field(default_factory=dict)
+    #: Inner fake-transport counters (``FakeTransport.export_stats``).
+    transport: dict[str, Any] = field(default_factory=dict)
+    #: Chaos-edge summary (fault log and counts) when chaos was active.
+    chaos: dict[str, Any] | None = None
+    #: Interface key -> reach-client request count.
+    clients: dict[str, int] = field(default_factory=dict)
+    #: Interface key -> interface counters (``export_stats``).
+    interfaces: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Target key -> audit-target cache state (``export_cache_state``).
+    targets: dict[str, dict] = field(default_factory=dict)
+    #: Experiment-context composition-set caches (``export_state``).
+    context: dict[str, Any] = field(default_factory=dict)
+    #: Formatted traceback of the first failing cell, if any.
+    error: str | None = None
+    #: ``(experiment, part)`` of the failing cell, if any.
+    error_cell: tuple[str, str] | None = None
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Run one group's cells and export all merge state."""
+    populations = {
+        name: attach_population(manifest, task.model)
+        for name, manifest in task.manifests.items()
+    }
+    session = build_audit_session(
+        n_records=task.config.n_records,
+        seed=task.config.seed,
+        rate_limit=task.rate_limit,
+        chaos=task.chaos,
+        chaos_seed=derive_chaos_seed(task.chaos_seed, task.group),
+        populations=populations,
+    )
+    ctx = ExperimentContext(task.config, session=session)
+
+    if task.checkpoint is not None:
+        # In-memory resume pre-warm: the parent ships the loaded
+        # checkpoint entries for this group's interfaces; attaching the
+        # store pre-warms the target caches exactly as a sequential
+        # resume would.  Completed estimates flow back via the target
+        # cache export (the parent re-records them into its own store).
+        store = EstimateCheckpoint()
+        for key, entries in task.checkpoint.items():
+            store.shard(key).update(entries)
+        for target in session.targets.values():
+            target.attach_checkpoint(store)
+
+    result = ShardResult(group=task.group)
+    for cell in task.cells:
+        module = EXPERIMENT_MODULES[cell.experiment]
+        started = time.perf_counter()
+        try:
+            part_result = module.run_part(ctx, cell.part)
+        # Process boundary: any failure must serialize back to the
+        # parent, which re-raises after persisting checkpoints.
+        except Exception:  # repro-lint: disable=errors/broad-except
+            result.error = traceback.format_exc()
+            result.error_cell = (cell.experiment, cell.part)
+            break
+        finally:
+            elapsed = time.perf_counter() - started
+            result.durations[cell.experiment] = (
+                result.durations.get(cell.experiment, 0.0) + elapsed
+            )
+        result.results.setdefault(cell.experiment, {})[cell.part] = part_result
+
+    transport = session.transport
+    if isinstance(transport, ChaosTransport):
+        result.chaos = {
+            "profile": transport.profile.name,
+            "seed": transport.seed,
+            "edge_requests": transport.total_requests,
+            "faults": dict(transport.faults),
+            "fault_log": list(transport.fault_log),
+        }
+        transport = transport.inner
+    result.transport = transport.export_stats()
+    result.clients = {
+        key: client.request_count for key, client in session.clients.items()
+    }
+    result.interfaces = {
+        key: interface.export_stats()
+        for key, interface in session.suite.interfaces.items()
+    }
+    result.interfaces["google_search"] = (
+        session.suite.google.search_campaign.export_stats()
+    )
+    result.targets = {
+        key: target.export_cache_state()
+        for key, target in session.targets.items()
+    }
+    result.context = ctx.export_state()
+    return result

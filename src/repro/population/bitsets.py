@@ -36,6 +36,32 @@ __all__ = ["BitVector", "AudienceIndex"]
 
 _WORD_BITS = 64
 
+#: ``np.bitwise_count`` landed in numpy 2.0; older numpys fall back to
+#: unpacking words to bits and summing, which is ~8x more memory
+#: traffic but bit-for-bit the same count.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: Reusable AND scratch buffers keyed by word count, so the audit's
+#: hottest query (intersect-then-popcount) allocates nothing per call.
+#: Populations come in one or two sizes per process, so this never
+#: holds more than a few arrays.
+_AND_SCRATCH: Dict[int, np.ndarray] = {}
+
+
+def _popcount_words(words: np.ndarray) -> int:
+    """Total set bits of a 1-D uint64 word array."""
+    if _HAS_BITWISE_COUNT:
+        return int(np.bitwise_count(words).sum())
+    return int(np.unpackbits(words.view(np.uint8)).sum())
+
+
+def _popcount_rows(words: np.ndarray) -> list[int]:
+    """Per-row set bits of a 2-D uint64 word array."""
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words).sum(axis=1, dtype=np.int64).tolist()
+    bits = np.unpackbits(words.view(np.uint8).reshape(words.shape[0], -1), axis=1)
+    return bits.sum(axis=1, dtype=np.int64).tolist()
+
 
 def _n_words(n_bits: int) -> int:
     return (n_bits + _WORD_BITS - 1) // _WORD_BITS
@@ -135,10 +161,17 @@ class BitVector:
         """Number of records (bits) the vector spans."""
         return self._n
 
+    @property
+    def words(self) -> np.ndarray:
+        """Read-only view of the packed little-endian uint64 words."""
+        view = self._words.view()
+        view.flags.writeable = False
+        return view
+
     def count(self) -> int:
         """Exact number of set bits (audience size in records)."""
         if self._count is None:
-            self._count = int(np.bitwise_count(self._words).sum())
+            self._count = _popcount_words(self._words)
         return self._count
 
     def to_bool(self) -> np.ndarray:
@@ -187,9 +220,22 @@ class BitVector:
         return BitVector._raw(self._words & ~other._words, self._n)
 
     def intersect_count(self, other: "BitVector") -> int:
-        """Popcount of the intersection without materialising it."""
+        """Popcount of the intersection without materialising it.
+
+        One fused pass through a persistent scratch buffer: the AND
+        lands in the scratch, the popcount overwrites it in place, so
+        the hottest audit query performs zero full-width allocations.
+        """
         self._check_compatible(other)
-        return int(np.bitwise_count(self._words & other._words).sum())
+        words = self._words
+        scratch = _AND_SCRATCH.get(words.shape[0])
+        if scratch is None:
+            scratch = _AND_SCRATCH[words.shape[0]] = np.empty_like(words)
+        np.bitwise_and(words, other._words, out=scratch)
+        if _HAS_BITWISE_COUNT:
+            np.bitwise_count(scratch, out=scratch)
+            return int(scratch.sum())
+        return int(np.unpackbits(scratch.view(np.uint8)).sum())
 
     def jaccard(self, other: "BitVector") -> float:
         """Jaccard similarity; 0.0 when both vectors are empty."""
@@ -240,8 +286,8 @@ def intersect_counts(
     words = np.stack([v._words for v in vectors])
     if mask is not None:
         vectors[0]._check_compatible(mask)
-        words = words & mask._words
-    return np.bitwise_count(words).sum(axis=1, dtype=np.int64).tolist()
+        words &= mask._words
+    return _popcount_rows(words)
 
 
 def union_all(vectors: Iterable[BitVector]) -> BitVector:
@@ -283,6 +329,31 @@ class AudienceIndex:
             g: BitVector.from_bool(gender_codes == int(g)) for g in GENDERS
         }
         self._age = {a: BitVector.from_bool(age_codes == int(a)) for a in AGE_RANGES}
+
+    @classmethod
+    def from_vectors(
+        cls,
+        n_records: int,
+        attrs: Mapping[str, BitVector],
+        gender: Mapping[Gender, BitVector],
+        age: Mapping[AgeRange, BitVector],
+    ) -> "AudienceIndex":
+        """Rebuild an index from already-packed vectors without copying.
+
+        This is the worker-side rehydration path of the parallel
+        engine: the vectors wrap words living in a shared-memory block,
+        so the full attribute index costs no per-process memory beyond
+        the dict of views.  Insertion order of ``attrs`` must match the
+        exporting index (it is part of the determinism contract).
+        """
+        index = cls.__new__(cls)
+        index._n = int(n_records)
+        index._attrs = dict(attrs)
+        index._counts = None
+        index._all = BitVector.ones(index._n)
+        index._gender = dict(gender)
+        index._age = dict(age)
+        return index
 
     # -- registration ----------------------------------------------------
 

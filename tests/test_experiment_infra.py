@@ -182,12 +182,14 @@ class TestRunnerCli:
                 "--only", "fig1",
                 "--records", "8000",
                 "--seed", "3",
+                "--compositions", "24",
                 "--out", str(out),
             ]
         )
         assert code == 0
         text = out.read_text()
         assert "Figure 1" in text
+        assert "compositions/set=24" in text
         captured = capsys.readouterr()
         assert "Figure 1" in captured.out
 
