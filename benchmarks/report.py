@@ -42,6 +42,7 @@ from repro.experiments import (
     fig1_restricted,
     fig2_platforms,
 )
+from repro.obs import MetricsRegistry, Tracer
 from repro.parallel import run_parallel
 
 EXPERIMENTS = {
@@ -109,16 +110,33 @@ def _session_stats(ctx: ExperimentContext) -> dict:
 
 
 def _run_mode(
-    run, records: int, batched: bool, rounds: int, chaos: str | None = None
+    run,
+    records: int,
+    batched: bool,
+    rounds: int,
+    chaos: str | None = None,
+    observed: bool = False,
 ) -> dict:
-    """Best-of-``rounds`` cold wall time plus final-round session stats."""
+    """Best-of-``rounds`` cold wall time plus final-round session stats.
+
+    ``observed`` runs with a live tracer and metrics registry injected
+    into the session -- the "everything on" observability cost, which
+    upper-bounds the no-op default path's.
+    """
     best_wall = None
     stats = None
+    obs_stats = None
     for _ in range(rounds):
         config = ExperimentConfig.small().with_records(records)
-        if chaos is not None:
+        if chaos is not None or observed:
+            tracer = Tracer("bench") if observed else None
+            metrics = MetricsRegistry() if observed else None
             session = build_audit_session(
-                n_records=config.n_records, seed=config.seed, chaos=chaos
+                n_records=config.n_records,
+                seed=config.seed,
+                chaos=chaos,
+                tracer=tracer,
+                metrics=metrics,
             )
             ctx = ExperimentContext(config, session=session)
         else:
@@ -132,7 +150,46 @@ def _run_mode(
         if best_wall is None or wall < best_wall:
             best_wall = wall
         stats = _session_stats(ctx)
+        if observed:
+            records_out = tracer.export()
+            obs_stats = {
+                "spans": len(records_out),
+                "events": sum(len(r["events"]) for r in records_out),
+            }
+    if obs_stats is not None:
+        stats = {**stats, "trace": obs_stats}
     return {"wall_seconds": round(best_wall, 3), **stats}
+
+
+def _paired_obs_overhead(run, records: int, rounds: int) -> float:
+    """Observability overhead from interleaved batched/observed rounds.
+
+    Comparing walls measured minutes apart (as the per-mode bests are)
+    lets system drift swamp sub-second runs; alternating the two modes
+    round for round exposes both to the same drift, so the ratio of
+    bests isolates what the live tracer + metrics registry actually
+    cost.  At least five pairs are timed regardless of ``--rounds``.
+    """
+    best = {False: None, True: None}
+    for _ in range(max(rounds, 5)):
+        for observed in (False, True):
+            config = ExperimentConfig.small().with_records(records)
+            if observed:
+                session = build_audit_session(
+                    n_records=config.n_records,
+                    seed=config.seed,
+                    tracer=Tracer("bench"),
+                    metrics=MetricsRegistry(),
+                )
+                ctx = ExperimentContext(config, session=session)
+            else:
+                ctx = ExperimentContext(config)
+            start = time.perf_counter()
+            run(ctx)
+            wall = time.perf_counter() - start
+            if best[observed] is None or wall < best[observed]:
+                best[observed] = wall
+    return round(best[True] / best[False] - 1.0, 4)
 
 
 def _run_parallel_mode(name: str, records: int, rounds: int) -> dict:
@@ -198,8 +255,9 @@ def build_report(
         "note": (
             "wall_seconds is the best of the cold rounds; batched, "
             "sequential, resilient (calm chaos transport + circuit "
-            "breakers), and parallel (multi-process shared-memory "
-            "engine) modes yield bit-identical audit records"
+            "breakers), observed (live tracer + metrics registry), and "
+            "parallel (multi-process shared-memory engine) modes yield "
+            "bit-identical audit records"
         ),
         "parallel_note": (
             "parallel wall times are end-to-end (session build, "
@@ -220,15 +278,23 @@ def build_report(
         resilient = _run_mode(
             run, records, batched=True, rounds=rounds, chaos="calm"
         )
+        # Batched with a live tracer + metrics registry: the cost of
+        # *enabled* observability, an upper bound on what the default
+        # no-op path adds (target: under 3%).
+        observed = _run_mode(
+            run, records, batched=True, rounds=rounds, observed=True
+        )
         parallel = _run_parallel_mode(name, records, rounds)
         entry = {
             "batched": batched,
             "sequential": sequential,
             "resilient": resilient,
+            "observed": observed,
             "parallel": parallel,
             "resilience_overhead": round(
                 resilient["wall_seconds"] / batched["wall_seconds"] - 1.0, 4
             ),
+            "obs_overhead": _paired_obs_overhead(run, records, rounds),
             "parallel_speedup": round(
                 batched["wall_seconds"] / parallel["wall_seconds"], 2
             ),
@@ -321,6 +387,7 @@ def main() -> None:
             f"({entry['wall_speedup']}x wall, {entry['virtual_speedup']}x "
             f"virtual, {entry['request_reduction']}x fewer requests); "
             f"resilience overhead {entry['resilience_overhead']:+.1%}; "
+            f"obs overhead {entry['obs_overhead']:+.1%}; "
             f"parallel {entry['parallel']['wall_seconds']}s "
             f"({entry['parallel_speedup']}x vs batched, "
             f"jobs={entry['parallel']['jobs']}, "

@@ -101,6 +101,16 @@ class AuditSession:
         """Interface keys in the paper's presentation order."""
         return ["facebook_restricted", "facebook", "google", "linkedin"]
 
+    @property
+    def tracer(self):
+        """The tracer threaded through the stack (no-op by default)."""
+        return self.transport.tracer
+
+    @property
+    def metrics(self):
+        """The metrics registry threaded through the stack."""
+        return self.transport.metrics
+
     def total_api_requests(self) -> int:
         """Requests observed by the transport across the session."""
         return self.transport.total_requests
@@ -115,6 +125,8 @@ def build_audit_session(
     chaos: FaultProfile | str | None = None,
     chaos_seed: int = 1031,
     populations: dict | None = None,
+    tracer=None,
+    metrics=None,
 ) -> AuditSession:
     """Construct the full simulation + audit stack.
 
@@ -149,6 +161,11 @@ def build_audit_session(
         to :func:`repro.platforms.build_platform_suite` -- the parallel
         engine's workers rehydrate populations from shared memory and
         build their sessions through this without regenerating them.
+    tracer / metrics:
+        Observability sinks (see :mod:`repro.obs`), injected into the
+        transport -- the single point from which clients, breakers, and
+        audit targets pick them up.  Defaults are the no-op singletons;
+        enabling them never changes what a session computes.
     """
     suite = build_platform_suite(
         n_records=n_records,
@@ -158,7 +175,7 @@ def build_audit_session(
         populations=populations,
     )
     transport: FakeTransport | ChaosTransport = FakeTransport(
-        clock=VirtualClock(), rate=rate_limit
+        clock=VirtualClock(), rate=rate_limit, tracer=tracer, metrics=metrics
     )
     mount_suite_routes(transport, suite)
     if chaos is not None:

@@ -41,6 +41,8 @@ PRINT_ALLOWED_MODULES = frozenset(
         # --jobs path, mirroring the sequential runner's verbose mode.
         "repro.parallel.engine",
         "repro.analysis.cli",
+        # repro-trace: the trace summarizer's console entry point.
+        "repro.obs.report",
     }
 )
 

@@ -117,6 +117,7 @@ def _load_builtin_rules() -> None:
         contracts,
         determinism,
         layering,
+        obs_rules,
         parallel_rules,
     )
 

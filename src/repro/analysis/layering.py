@@ -42,7 +42,7 @@ FACADE_RANK = LAYERS["core"]
 #: Self-contained packages: they import nothing from the rest of
 #: ``repro`` (so e.g. the analyzer can lint the tree without importing
 #: it), and other layers may import them freely.
-ISLANDS = frozenset({"analysis"})
+ISLANDS = frozenset({"analysis", "obs"})
 
 #: Top-level modules that only test code may import.
 _TEST_MODULES = frozenset({"tests", "pytest", "hypothesis", "unittest"})

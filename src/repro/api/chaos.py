@@ -150,6 +150,14 @@ class ChaosTransport:
     def latency(self) -> float:
         return self.inner.latency
 
+    @property
+    def tracer(self) -> Any:
+        return self.inner.tracer
+
+    @property
+    def metrics(self) -> Any:
+        return self.inner.metrics
+
     def register(
         self,
         method: str,
@@ -171,6 +179,41 @@ class ChaosTransport:
     def _log(self, kind: str) -> None:
         self.fault_log.append(kind)
         self.faults[kind] += 1
+        if self.inner.tracer.enabled:
+            self.inner.tracer.event("chaos.fault", kind=kind)
+        if self.inner.metrics.enabled:
+            self.inner.metrics.inc("chaos.faults", kind=kind)
+
+    def _observe_denied(self, request: HttpRequest, status: int) -> None:
+        """Account for a request the chaos layer denied.
+
+        The inner transport emits one ``transport.request`` event per
+        dispatched request; denied and raised requests never reach it,
+        so the chaos layer emits theirs (flagged ``injected``) to keep
+        the trace's request accounting equal to the chaos-edge
+        :attr:`total_requests`.
+        """
+        tracer = self.inner.tracer
+        metrics = self.inner.metrics
+        if not (tracer.enabled or metrics.enabled):
+            return
+        platform, _, endpoint = request.path.strip("/").partition("/")
+        if tracer.enabled:
+            tracer.event(
+                "transport.request",
+                platform=platform,
+                endpoint=endpoint,
+                status=status,
+                injected=True,
+            )
+        if metrics.enabled:
+            metrics.inc(
+                "transport.requests",
+                platform=platform,
+                endpoint=endpoint,
+                status=status,
+                injected=True,
+            )
 
     def _draw_fault(self) -> str | None:
         """The fault kind for this request, if any (one RNG draw)."""
@@ -256,6 +299,7 @@ class ChaosTransport:
         if kind == "throttle":
             clock.advance(self.inner.latency)
             self._log("throttle")
+            self._observe_denied(request, 429)
             return HttpResponse(
                 429,
                 {
@@ -267,15 +311,18 @@ class ChaosTransport:
             clock.advance(self.inner.latency)
             status = 503 if self._rng.random() < 0.5 else 500
             self._log(f"http_{status}")
+            self._observe_denied(request, status)
             return HttpResponse(status, {"error": "internal error (injected)"})
         if kind == "reset":
             # The connection died mid-flight: half a round trip elapsed.
             clock.advance(self.inner.latency * 0.5)
             self._log("reset")
+            self._observe_denied(request, 0)
             raise ConnectionLostError("connection reset by peer (injected)")
         if kind == "timeout":
             clock.advance(profile.timeout)
             self._log("timeout")
+            self._observe_denied(request, 0)
             raise RequestTimeoutError(
                 f"no response within {profile.timeout:g}s (injected)"
             )

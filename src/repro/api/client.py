@@ -32,6 +32,7 @@ from typing import Any, Callable, Iterable, Mapping
 from repro.api.obfuscation import GoogleWireCodec
 from repro.api.resilience import CircuitBreaker, RetryPolicy
 from repro.api.transport import FakeTransport, HttpRequest
+from repro.obs import COUNT_BUCKETS, NULL_METRICS, NULL_TRACER
 from repro.api.wire import (
     MAX_BATCH_SIZE,
     BatchEnvelope,
@@ -151,6 +152,12 @@ class ReachClient(ABC):
         self.breaker = breaker
         self.request_count = 0
         self._catalog_cache: list[CatalogOption] | None = None
+        # Observability flows from the transport (the stack's single
+        # injection point); clients never construct their own sinks.
+        self.tracer = getattr(transport, "tracer", NULL_TRACER)
+        self.metrics = getattr(transport, "metrics", NULL_METRICS)
+        if self.metrics.enabled:
+            self.metrics.register_buckets("client.batch_size", COUNT_BUCKETS)
 
     def _give_up(self, attempts: int) -> bool:
         return attempts > self.max_retries
@@ -185,6 +192,16 @@ class ReachClient(ABC):
                             f"{self.interface_key or path} circuit open; "
                             "retry budget exhausted"
                         )
+                    if self.tracer.enabled:
+                        self.tracer.event(
+                            "breaker.wait",
+                            interface=self.interface_key,
+                            seconds=wait,
+                        )
+                    if self.metrics.enabled:
+                        self.metrics.inc(
+                            "client.breaker_waits", interface=self.interface_key
+                        )
                     clock.sleep(wait + 1e-6)
                     continue
             self.request_count += 1
@@ -196,6 +213,19 @@ class ReachClient(ABC):
                 attempts += 1
                 if self._give_up(attempts):
                     raise ApiError(f"transport retries exhausted: {exc}") from exc
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "retry.backoff",
+                        attempt=attempts,
+                        kind=type(exc).__name__,
+                        interface=self.interface_key,
+                    )
+                if self.metrics.enabled:
+                    self.metrics.inc(
+                        "client.retries",
+                        kind=type(exc).__name__,
+                        interface=self.interface_key,
+                    )
                 clock.sleep(policy.backoff(attempts))
                 continue
             status = response.status
@@ -205,12 +235,21 @@ class ReachClient(ABC):
                 attempts += 1
                 if self._give_up(attempts):
                     raise ApiError("rate limit retries exhausted")
-                clock.sleep(
-                    policy.backoff(
-                        attempts,
-                        retry_after=float(response.body.get("retry_after", 1.0)),
+                retry_after = float(response.body.get("retry_after", 1.0))
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "retry.after",
+                        attempt=attempts,
+                        retry_after=retry_after,
+                        interface=self.interface_key,
                     )
-                )
+                if self.metrics.enabled:
+                    self.metrics.inc(
+                        "client.retries",
+                        kind="429",
+                        interface=self.interface_key,
+                    )
+                clock.sleep(policy.backoff(attempts, retry_after=retry_after))
                 continue
             if status in RETRYABLE_STATUSES:
                 if breaker is not None:
@@ -219,6 +258,19 @@ class ReachClient(ABC):
                 if self._give_up(attempts):
                     raise ApiError(f"HTTP {status} retries exhausted")
                 retry_after = response.body.get("retry_after")
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "retry.backoff",
+                        attempt=attempts,
+                        kind=str(status),
+                        interface=self.interface_key,
+                    )
+                if self.metrics.enabled:
+                    self.metrics.inc(
+                        "client.retries",
+                        kind=str(status),
+                        interface=self.interface_key,
+                    )
                 clock.sleep(
                     policy.backoff(
                         attempts,
@@ -323,6 +375,10 @@ class ReachClient(ABC):
         """
         pending = list(range(len(chunk)))
         rounds = 0
+        if self.metrics.enabled:
+            self.metrics.observe(
+                "client.batch_size", len(chunk), interface=self.interface_key
+            )
         while pending:
             body = self._encode_batch([self._encode_item(chunk[i]) for i in pending])
             response = self._call("POST", self._batch_path, body)
@@ -346,6 +402,20 @@ class ReachClient(ABC):
                 if rounds > self.max_retries:
                     raise ApiError("batch item retries exhausted")
                 retry.sort()
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "retry.backoff",
+                        attempt=rounds,
+                        kind="batch_partial",
+                        pending=len(retry),
+                        interface=self.interface_key,
+                    )
+                if self.metrics.enabled:
+                    self.metrics.inc(
+                        "client.retries",
+                        kind="batch_partial",
+                        interface=self.interface_key,
+                    )
                 self.transport.clock.sleep(self.retry_policy.backoff(rounds))
             pending = retry
 
@@ -371,10 +441,15 @@ class ReachClient(ABC):
         """
         specs = list(specs)
         out: list[int | PlatformError | None] = [None] * len(specs)
-        for start in range(0, len(specs), self.batch_size):
-            self._fetch_batch(
-                specs[start : start + self.batch_size], out, start, on_result
-            )
+        with self.tracer.span(
+            "client.estimate_many",
+            interface=self.interface_key,
+            specs=len(specs),
+        ):
+            for start in range(0, len(specs), self.batch_size):
+                self._fetch_batch(
+                    specs[start : start + self.batch_size], out, start, on_result
+                )
         return out  # type: ignore[return-value]  # every slot is filled
 
 
@@ -544,7 +619,11 @@ def build_clients(
     def _breaker(key: str) -> CircuitBreaker | None:
         if not breakers:
             return None
-        return CircuitBreaker(clock=transport.clock, name=f"{key}:{account}")
+        return CircuitBreaker(
+            clock=transport.clock,
+            name=f"{key}:{account}",
+            tracer=getattr(transport, "tracer", None),
+        )
 
     return {
         "facebook_restricted": FacebookReachClient(

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Any, Protocol
 
 __all__ = ["RetryPolicy", "CircuitBreaker", "RETRY_AFTER_SLACK"]
 
@@ -94,6 +94,17 @@ class CircuitBreaker:
     the caller decides whether to wait it out on the virtual clock or
     give up.  ``transitions`` records every state change as
     ``(virtual_time, old_state, new_state)``.
+
+    Transition timestamps are the times the transitions *happened* on
+    the injected clock, not the times they were observed: the lazy
+    open -> half-open resolution in :attr:`state` is stamped at
+    ``opened_at + reset_timeout``, however late a caller polls.  A
+    tracer reading breaker state therefore never perturbs the recorded
+    trajectory, which keeps traces replayable.
+
+    ``tracer`` is duck-typed (anything with ``enabled`` and
+    ``event(name, **attrs)``); when set, every transition also emits a
+    ``breaker.transition`` span event.
     """
 
     clock: _Clock
@@ -102,6 +113,7 @@ class CircuitBreaker:
     success_threshold: int = 2
     name: str = ""
     transitions: list[tuple[float, str, str]] = field(default_factory=list)
+    tracer: Any = field(default=None, repr=False)
 
     CLOSED = "closed"
     OPEN = "open"
@@ -117,19 +129,34 @@ class CircuitBreaker:
         self._probe_successes = 0
         self._opened_at = 0.0
 
-    def _transition(self, new_state: str) -> None:
-        self.transitions.append((self.clock.now(), self._state, new_state))
+    def _transition(self, new_state: str, at: float | None = None) -> None:
+        t = self.clock.now() if at is None else at
+        self.transitions.append((t, self._state, new_state))
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.event(
+                "breaker.transition",
+                breaker=self.name,
+                from_state=self._state,
+                to_state=new_state,
+                at=t,
+            )
         self._state = new_state
 
     @property
     def state(self) -> str:
-        """Current state, resolving an elapsed open-timeout to half-open."""
+        """Current state, resolving an elapsed open-timeout to half-open.
+
+        The transition is stamped at the moment the timeout elapsed,
+        not at this (possibly much later) observation.
+        """
         if (
             self._state == self.OPEN
             and self.clock.now() - self._opened_at >= self.reset_timeout
         ):
             self._probe_successes = 0
-            self._transition(self.HALF_OPEN)
+            self._transition(
+                self.HALF_OPEN, at=self._opened_at + self.reset_timeout
+            )
         return self._state
 
     def before_call(self) -> float:

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 from repro.api.ratelimit import TokenBucket
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.platforms.errors import (
     ApiError,
     NoSizeEstimateError,
@@ -101,6 +102,13 @@ class FakeTransport:
         defaults allow sustained polite querying (the paper limited
         both the count and rate of its queries); pass ``rate=None`` to
         disable limiting.
+    tracer / metrics:
+        Observability sinks (no-op singletons by default).  The
+        transport is the stack's injection point: clients, breakers,
+        and audit targets all read ``transport.tracer`` /
+        ``transport.metrics`` rather than taking their own parameters.
+        One ``transport.request`` span event is emitted per dispatched
+        request, so a trace accounts for :attr:`total_requests` exactly.
     """
 
     def __init__(
@@ -109,8 +117,12 @@ class FakeTransport:
         latency: float = 0.05,
         rate: float | None = 10.0,
         burst: int = 20,
+        tracer: Any = None,
+        metrics: Any = None,
     ):
         self.clock = clock or VirtualClock()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.latency = float(latency)
         self._rate = rate
         self._burst = burst
@@ -178,6 +190,26 @@ class FakeTransport:
         to 400, missing size statistics to 422, rate limiting to 429
         with a ``retry_after`` hint, unknown routes to 404.
         """
+        response = self._dispatch(request)
+        if self.tracer.enabled or self.metrics.enabled:
+            platform, _, endpoint = request.path.strip("/").partition("/")
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "transport.request",
+                    platform=platform,
+                    endpoint=endpoint,
+                    status=response.status,
+                )
+            if self.metrics.enabled:
+                self.metrics.inc(
+                    "transport.requests",
+                    platform=platform,
+                    endpoint=endpoint,
+                    status=response.status,
+                )
+        return response
+
+    def _dispatch(self, request: HttpRequest) -> HttpResponse:
         self.clock.advance(self.latency)
         self.total_requests += 1
         key = (request.method.upper(), request.path)

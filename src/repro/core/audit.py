@@ -31,6 +31,7 @@ from repro.api.client import (
     ReachClient,
 )
 from repro.core.results import SensitiveValue, TargetingAudit
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.platforms.errors import UnsupportedCompositionError
 from repro.platforms.targeting import TargetingSpec, spec_intersection
 from repro.population.demographics import (
@@ -70,6 +71,10 @@ class AuditTarget:
         self.name = name
         self.client = client
         self.measure_client = measure_client or client
+        # Observability rides in on the clients (and ultimately the
+        # transport); targets never construct their own sinks.
+        self.tracer = getattr(client, "tracer", NULL_TRACER)
+        self.metrics = getattr(client, "metrics", NULL_METRICS)
         # Estimate cache, sharded per interface key: specs are hashed
         # on every lookup of the audit's hot loop, so the shard layout
         # avoids allocating and hashing a (key, spec) tuple per lookup.
@@ -105,9 +110,16 @@ class AuditTarget:
         checkpoint yields bit-identical output.
         """
         self._checkpoint = checkpoint
+        preloaded = 0
         for client in (self.client, self.measure_client):
             shard = self._cache.setdefault(client.interface_key, {})
+            before = len(shard)
             shard.update(checkpoint.shard(client.interface_key))
+            preloaded += len(shard) - before
+        if self.tracer.enabled:
+            self.tracer.event(
+                "checkpoint.load", target=self.key, entries=preloaded
+            )
 
     def _record_estimate(
         self, interface_key: str, spec: TargetingSpec, estimate: int
@@ -273,6 +285,9 @@ class AuditTarget:
             shard = self._cache[client.interface_key] = {}
         cached = shard.get(spec)
         if cached is not None:
+            # No per-lookup event here: the audit hot loop hits the
+            # cache hundreds of thousands of times per experiment, so
+            # audit_many emits one coalesced event per batch instead.
             self.cache_hits += 1
             return cached
         self.cache_misses += 1
@@ -458,9 +473,45 @@ class AuditTarget:
             compositions = [o for o in compositions if self.can_compose(o)]
         if batched is None:
             batched = self.batch_queries
-        if batched:
-            self._dispatch_plan(self._plan_queries(compositions, attribute))
-        return [self.audit(options, attribute) for options in compositions]
+        with self.tracer.span(
+            "audit.audit_many",
+            target=self.key,
+            compositions=len(compositions),
+            batched=batched,
+        ):
+            hits, misses = self.cache_hits, self.cache_misses
+            if batched:
+                self._dispatch_plan(self._plan_queries(compositions, attribute))
+            records = [self.audit(options, attribute) for options in compositions]
+            self._note_cache_activity(hits, misses)
+            return records
+
+    def _note_cache_activity(self, hits_before: int, misses_before: int) -> None:
+        """Emit coalesced cache events/metrics for one audit batch.
+
+        A coalesced event carries a ``count`` attribute (N lookups in
+        this batch); summarizers weight events by it, so the reported
+        totals still equal the per-lookup truth.
+        """
+        hits = self.cache_hits - hits_before
+        misses = self.cache_misses - misses_before
+        if self.tracer.enabled:
+            if hits:
+                self.tracer.event("cache.hit", target=self.key, count=hits)
+            if misses:
+                self.tracer.event("cache.miss", target=self.key, count=misses)
+        if self.metrics.enabled:
+            if hits:
+                self.metrics.inc(
+                    "audit.cache", value=float(hits), kind="hit", target=self.key
+                )
+            if misses:
+                self.metrics.inc(
+                    "audit.cache",
+                    value=float(misses),
+                    kind="miss",
+                    target=self.key,
+                )
 
     # -- boolean combinations (overlap / union analyses) ----------------------
 

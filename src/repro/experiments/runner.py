@@ -51,6 +51,7 @@ from repro.experiments import (
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
+from repro.obs import NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
 from repro.parallel.engine import resolve_jobs, run_parallel
 
 __all__ = ["EXPERIMENTS", "RunReport", "run_all", "main"]
@@ -122,8 +123,17 @@ def run_all(
     chaos_seed: int = 1031,
     checkpoint: EstimateCheckpoint | str | Path | None = None,
     jobs: int = 1,
+    tracer=None,
+    metrics=None,
 ) -> RunReport:
     """Run the selected experiments over one shared context.
+
+    ``tracer`` / ``metrics`` (see :mod:`repro.obs`) are threaded into
+    the session build and wrap each experiment in a span / metrics
+    scope.  When an explicit ``context`` is supplied they default to
+    its session's sinks, so a caller who built a traced session gets
+    experiment spans without passing the tracer twice.  Observability
+    never changes what a run computes.
 
     ``chaos`` builds the session over a fault-injecting transport (by
     profile or name from :data:`FAULT_PROFILES`); ignored when an
@@ -144,6 +154,13 @@ def run_all(
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         raise KeyError(f"unknown experiments: {unknown}")
+    if context is not None:
+        if tracer is None:
+            tracer = context.session.tracer
+        if metrics is None:
+            metrics = context.session.metrics
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_METRICS
 
     started_wall = time.perf_counter()
     effective_jobs = resolve_jobs(jobs)
@@ -161,6 +178,8 @@ def run_all(
             chaos_seed=chaos_seed,
             checkpoint=checkpoint,
             verbose=verbose,
+            tracer=tracer,
+            metrics=metrics,
         )
         return RunReport(
             config=config,
@@ -171,12 +190,16 @@ def run_all(
             jobs=effective_jobs,
         )
 
-    if context is None and chaos is not None:
+    if context is None and (
+        chaos is not None or tracer.enabled or metrics.enabled
+    ):
         session = build_audit_session(
             n_records=config.n_records,
             seed=config.seed,
             chaos=chaos,
             chaos_seed=chaos_seed,
+            tracer=tracer,
+            metrics=metrics,
         )
         context = ExperimentContext(config, session=session)
     ctx = context or ExperimentContext(config)
@@ -204,13 +227,18 @@ def run_all(
             if verbose:
                 print(f"running {name}: {title} ...", file=sys.stderr, flush=True)
             started = time.perf_counter()
-            report.results[name] = runner(ctx)
+            with tracer.span(f"experiment.{name}"), metrics.scope(
+                experiment=name
+            ):
+                report.results[name] = runner(ctx)
             report.durations[name] = time.perf_counter() - started
     finally:
         # Persist whatever completed, even when an experiment raised --
         # that is the whole point of the checkpoint.
         if store is not None and store.path is not None:
             store.save()
+            if tracer.enabled:
+                tracer.event("checkpoint.save", entries=len(store))
     report.total_api_requests = ctx.session.total_api_requests()
     report.total_wall = time.perf_counter() - started_wall
     return report
@@ -284,6 +312,21 @@ def main(argv: list[str] | None = None) -> int:
             "bit-identical to a sequential run"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "record a structured trace of the run and write it as JSONL "
+            "here (summarize with repro-trace); results are unaffected"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="aggregate counters/histograms and print them after the report",
+    )
     args = parser.parse_args(argv)
 
     config = getattr(ExperimentConfig, args.scale)()
@@ -299,6 +342,17 @@ def main(argv: list[str] | None = None) -> int:
             overrides["n_compositions"] = args.compositions
         config = replace(config, **overrides)
 
+    # The CLI is a composition root: the one place in the library
+    # allowed to construct observability sinks.
+    tracer = None
+    if args.trace:
+        tracer = Tracer(  # repro-lint: disable=obs/ambient-instrumentation
+            "repro-audit", scale=args.scale, jobs=args.jobs
+        )
+    metrics = None
+    if args.metrics:
+        metrics = MetricsRegistry()  # repro-lint: disable=obs/ambient-instrumentation
+
     report = run_all(
         config=config,
         only=args.only,
@@ -307,12 +361,20 @@ def main(argv: list[str] | None = None) -> int:
         chaos_seed=args.chaos_seed,
         checkpoint=args.checkpoint,
         jobs=args.jobs,
+        tracer=tracer,
+        metrics=metrics,
     )
     text = report.render()
     print(text)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text + "\n")
+    if tracer is not None:
+        path = tracer.write_jsonl(args.trace)
+        print(f"trace written to {path}", file=sys.stderr, flush=True)
+    if metrics is not None:
+        print("", flush=True)
+        print(metrics.render())
     return 0
 
 

@@ -39,6 +39,7 @@ from repro.api.chaos import FAULT_PROFILES, FaultProfile
 from repro.core.checkpoint import EstimateCheckpoint
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.context import ExperimentContext
+from repro.obs import NULL_METRICS, NULL_TRACER
 from repro.parallel.plan import (
     EXPERIMENT_MODULES,
     GROUP_OF_INTERFACE,
@@ -112,6 +113,8 @@ def run_parallel(
     rate_limit: float | None = None,
     start_method: str | None = None,
     verbose: bool = False,
+    tracer=None,
+    metrics=None,
 ) -> ParallelRun:
     """Run the named experiments sharded across worker processes.
 
@@ -121,10 +124,23 @@ def run_parallel(
     ``chaos_seed`` and the shard key, so fault sequences are
     reproducible for any worker count.  ``start_method`` overrides the
     multiprocessing start method (tests exercise ``spawn``).
+
+    When ``tracer`` / ``metrics`` are enabled, each worker builds its
+    own sinks and ships the exports back; the engine grafts worker
+    traces under a ``parallel.run`` span in **canonical shard order**
+    (plan order, never completion order) and folds worker metrics in
+    the same order, so the merged trace and registry are as
+    reproducible as a sequential run's.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
+    metrics = metrics if metrics is not None else NULL_METRICS
     profile = FAULT_PROFILES[chaos] if isinstance(chaos, str) else chaos
     session = build_audit_session(
-        n_records=config.n_records, seed=config.seed, rate_limit=rate_limit
+        n_records=config.n_records,
+        seed=config.seed,
+        rate_limit=rate_limit,
+        tracer=tracer,
+        metrics=metrics,
     )
     ctx = ExperimentContext(config, session=session)
 
@@ -157,6 +173,8 @@ def run_parallel(
                 rate_limit=rate_limit,
                 chaos=profile,
                 chaos_seed=chaos_seed,
+                trace=tracer.enabled,
+                collect_metrics=metrics.enabled,
                 checkpoint=(
                     {
                         key: dict(store.shard(key))
@@ -195,29 +213,39 @@ def run_parallel(
 
     run = ParallelRun(context=ctx, shards=shards)
     error: ParallelRunError | None = None
-    for group, shard in shards.items():
-        session.transport.absorb_stats(shard.transport)
-        for key, count in shard.clients.items():
-            session.clients[key].request_count += count
-        for key, stats in shard.interfaces.items():
-            if key == "google_search":
-                session.suite.google.search_campaign.absorb_stats(stats)
+    # ``shards`` was filled by iterating the plan, so this merge loop
+    # runs in canonical group order regardless of worker scheduling --
+    # the property that makes the absorbed trace order-stable.
+    with tracer.span("parallel.run", jobs=jobs, shards=len(shards)):
+        for group, shard in shards.items():
+            session.transport.absorb_stats(shard.transport)
+            for key, count in shard.clients.items():
+                session.clients[key].request_count += count
+            for key, stats in shard.interfaces.items():
+                if key == "google_search":
+                    session.suite.google.search_campaign.absorb_stats(stats)
+                else:
+                    session.suite.interfaces[key].absorb_stats(stats)
+            for key in INTERFACES_OF_GROUP[group]:
+                session.targets[key].absorb_cache_state(shard.targets[key])
+            ctx.absorb_state(shard.context)
+            if shard.chaos is not None:
+                run.total_api_requests += shard.chaos["edge_requests"]
             else:
-                session.suite.interfaces[key].absorb_stats(stats)
-        for key in INTERFACES_OF_GROUP[group]:
-            session.targets[key].absorb_cache_state(shard.targets[key])
-        ctx.absorb_state(shard.context)
-        if shard.chaos is not None:
-            run.total_api_requests += shard.chaos["edge_requests"]
-        else:
-            run.total_api_requests += shard.transport["total_requests"]
-        if error is None and shard.error is not None:
-            error = ParallelRunError(group, shard.error_cell, shard.error)
+                run.total_api_requests += shard.transport["total_requests"]
+            if shard.trace is not None and tracer.enabled:
+                tracer.absorb(shard.trace, f"shard:{group}")
+            if shard.metrics is not None and metrics.enabled:
+                metrics.absorb(shard.metrics)
+            if error is None and shard.error is not None:
+                error = ParallelRunError(group, shard.error_cell, shard.error)
 
     # Persist whatever completed before surfacing any failure -- the
     # sequential runner's ``finally: store.save()`` contract.
     if store is not None and store.path is not None:
         store.save()
+        if tracer.enabled:
+            tracer.event("checkpoint.save", entries=len(store))
     if error is not None:
         raise error
     for group, exc in failures.items():

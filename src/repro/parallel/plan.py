@@ -165,3 +165,8 @@ class ShardTask:
     #: Interface key -> already-completed estimates (resume pre-warm);
     #: ``None`` when the parent run has no checkpoint attached.
     checkpoint: Mapping[str, dict[TargetingSpec, int]] | None = None
+    #: Build a per-worker tracer and ship its exported span records
+    #: back for the engine's canonical-order merge.
+    trace: bool = False
+    #: Build a per-worker metrics registry and ship its export back.
+    collect_metrics: bool = False

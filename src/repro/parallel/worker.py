@@ -33,6 +33,7 @@ from repro import build_audit_session
 from repro.api.chaos import ChaosTransport
 from repro.core.checkpoint import EstimateCheckpoint
 from repro.experiments.context import ExperimentContext
+from repro.obs import NULL_METRICS, NULL_TRACER, MetricsRegistry, Tracer
 from repro.parallel.plan import EXPERIMENT_MODULES, ShardTask, derive_chaos_seed
 from repro.parallel.shm import attach_population
 
@@ -64,6 +65,10 @@ class ShardResult:
     error: str | None = None
     #: ``(experiment, part)`` of the failing cell, if any.
     error_cell: tuple[str, str] | None = None
+    #: Exported span records of the worker tracer (``task.trace``).
+    trace: list[dict[str, Any]] | None = None
+    #: Exported worker metrics (``task.collect_metrics``).
+    metrics: dict[str, Any] | None = None
 
 
 def run_shard(task: ShardTask) -> ShardResult:
@@ -72,6 +77,16 @@ def run_shard(task: ShardTask) -> ShardResult:
         name: attach_population(manifest, task.model)
         for name, manifest in task.manifests.items()
     }
+    # A worker process is a composition root: it owns its tracer and
+    # registry outright and ships only their exports back.
+    tracer = NULL_TRACER
+    if task.trace:
+        tracer = Tracer(  # repro-lint: disable=obs/ambient-instrumentation
+            f"shard:{task.group}", group=task.group
+        )
+    metrics = NULL_METRICS
+    if task.collect_metrics:
+        metrics = MetricsRegistry()  # repro-lint: disable=obs/ambient-instrumentation
     session = build_audit_session(
         n_records=task.config.n_records,
         seed=task.config.seed,
@@ -79,6 +94,8 @@ def run_shard(task: ShardTask) -> ShardResult:
         chaos=task.chaos,
         chaos_seed=derive_chaos_seed(task.chaos_seed, task.group),
         populations=populations,
+        tracer=tracer,
+        metrics=metrics,
     )
     ctx = ExperimentContext(task.config, session=session)
 
@@ -99,7 +116,10 @@ def run_shard(task: ShardTask) -> ShardResult:
         module = EXPERIMENT_MODULES[cell.experiment]
         started = time.perf_counter()
         try:
-            part_result = module.run_part(ctx, cell.part)
+            with tracer.span(
+                f"experiment.{cell.experiment}", part=cell.part
+            ), metrics.scope(experiment=cell.experiment):
+                part_result = module.run_part(ctx, cell.part)
         # Process boundary: any failure must serialize back to the
         # parent, which re-raises after persisting checkpoints.
         except Exception:  # repro-lint: disable=errors/broad-except
@@ -139,4 +159,8 @@ def run_shard(task: ShardTask) -> ShardResult:
         for key, target in session.targets.items()
     }
     result.context = ctx.export_state()
+    if task.trace:
+        result.trace = tracer.export()
+    if task.collect_metrics:
+        result.metrics = metrics.export()
     return result

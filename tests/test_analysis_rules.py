@@ -771,3 +771,89 @@ def test_baseline_roundtrip_is_json(tmp_path):
     Baseline.from_findings([]).save(path)
     data = json.loads(path.read_text())
     assert data["findings"] == []
+
+
+# -- obs/ambient-instrumentation ------------------------------------------
+
+
+def test_ambient_instrumentation_positive():
+    findings, _ = lint(
+        """
+        from repro.obs import Tracer
+        from repro.obs.metrics import MetricsRegistry
+
+        def build():
+            return Tracer("mine"), MetricsRegistry()
+        """
+    )
+    assert rule_ids(findings) == ["obs/ambient-instrumentation"] * 2
+    assert "build_audit_session" in findings[0].message
+
+
+def test_ambient_instrumentation_negative_injection_pattern():
+    findings, _ = lint(
+        """
+        from repro.obs import NULL_METRICS, NULL_TRACER
+
+        class Client:
+            def __init__(self, transport):
+                self.tracer = getattr(transport, "tracer", NULL_TRACER)
+                self.metrics = getattr(transport, "metrics", NULL_METRICS)
+        """
+    )
+    assert findings == []
+
+
+def test_ambient_instrumentation_ignores_code_outside_repro():
+    findings, _ = lint(
+        """
+        from repro.obs import Tracer
+
+        tracer = Tracer("bench")
+        """,
+        module="benchmarks.report",
+        path="benchmarks/report.py",
+    )
+    assert findings == []
+
+
+def test_ambient_instrumentation_ignores_the_obs_package_itself():
+    findings, _ = lint(
+        """
+        from repro.obs.trace import Tracer
+
+        def fresh():
+            return Tracer("inner")
+        """,
+        module="repro.obs.report",
+        path="src/repro/obs/report.py",
+    )
+    assert findings == []
+
+
+def test_ambient_instrumentation_suppressed_at_composition_roots():
+    findings, suppressed = lint(
+        """
+        from repro.obs import Tracer
+
+        def main():
+            tracer = Tracer(  # repro-lint: disable=obs/ambient-instrumentation
+                "repro-audit"
+            )
+            return tracer
+        """,
+        module="repro.experiments.runner",
+        path="src/repro/experiments/runner.py",
+    )
+    assert findings == []
+    assert rule_ids(suppressed) == ["obs/ambient-instrumentation"]
+
+
+def test_ambient_instrumentation_local_name_is_not_resolved():
+    findings, _ = lint(
+        """
+        def run(Tracer):
+            return Tracer("shadowed")
+        """
+    )
+    assert findings == []

@@ -32,8 +32,8 @@ def test_src_tree_is_lint_clean():
 
 def test_every_rule_family_is_loaded():
     families = {rule.family for rule in all_rules()}
-    assert families == {"determinism", "layering", "errors", "parallel"}
-    assert len(all_rules()) >= 11
+    assert families == {"determinism", "layering", "errors", "parallel", "obs"}
+    assert len(all_rules()) >= 12
 
 
 def test_cli_exits_zero_on_clean_tree(capsys):

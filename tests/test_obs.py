@@ -1,0 +1,485 @@
+"""Specs for the observability island (:mod:`repro.obs`).
+
+Unit tests pin the tracer's span-tree mechanics (nesting, events,
+absorb/merge, JSONL export), the metrics registry's label and bucket
+semantics, and the ``repro-trace`` summarizer.  Hypothesis property
+tests replay arbitrary span programs and check the structural
+invariants the rest of the suite relies on: spans nest properly, every
+child interval lies within its parent's, and identical programs --
+including parallel-style absorbs done in canonical order -- produce
+identical structures.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    COUNT_BUCKETS,
+    DURATION_BUCKETS,
+    NULL_METRICS,
+    NULL_TRACER,
+    MetricsRegistry,
+    NullMetrics,
+    NullTracer,
+    Tracer,
+    structure,
+)
+from repro.obs.report import load_trace, main, render, summarize
+
+
+class TestTracerSpans:
+    def test_spans_nest_under_the_innermost_open_span(self):
+        tracer = Tracer("t")
+        with tracer.span("outer", kind="a"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is tracer.root
+        outer = tracer.root.children[0]
+        assert outer.attrs == {"kind": "a"}
+        assert [child.name for child in outer.children] == ["inner"]
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer("t")
+        outer = tracer.span("outer")
+        tracer.span("inner")  # left open on purpose
+        with pytest.raises(RuntimeError, match="still open"):
+            outer.__exit__(None, None, None)
+
+    def test_events_attach_to_the_innermost_open_span(self):
+        tracer = Tracer("t")
+        tracer.event("root.tick")
+        with tracer.span("work"):
+            tracer.event("work.tick", n=1)
+            tracer.event("work.tick", n=2)
+        assert [name for name, _, _ in tracer.root.events] == ["root.tick"]
+        work = tracer.root.children[0]
+        assert [attrs["n"] for _, _, attrs in work.events] == [1, 2]
+        assert tracer.event_counts() == {"root.tick": 1, "work.tick": 2}
+
+    def test_export_is_preorder_with_parents_first(self):
+        tracer = Tracer("t")
+        with tracer.span("a"):
+            with tracer.span("a1"):
+                pass
+            with tracer.span("a2"):
+                pass
+        with tracer.span("b"):
+            pass
+        records = tracer.export()
+        assert [r["name"] for r in records] == ["t", "a", "a1", "a2", "b"]
+        seen = set()
+        for record in records:
+            assert record["parent"] is None or record["parent"] in seen
+            seen.add(record["id"])
+
+    def test_open_spans_export_without_closing(self):
+        tracer = Tracer("t")
+        tracer.span("open")
+        records = tracer.export()
+        assert [r["name"] for r in records] == ["t", "open"]
+        assert tracer.current.name == "open"
+        assert records[0]["end"] >= records[1]["end"] >= records[1]["start"]
+
+    def test_self_time_excludes_children(self):
+        tracer = Tracer("t")
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner = outer.children[0]
+        assert outer.self_time == pytest.approx(
+            outer.duration - inner.duration
+        )
+
+    def test_structure_is_timing_free_and_order_sensitive(self):
+        def replay(order):
+            tracer = Tracer("t")
+            for name in order:
+                with tracer.span(name, label=name.upper()):
+                    tracer.event("tick", at=name)
+            return tracer.export()
+
+        assert structure(replay(["a", "b"])) == structure(replay(["a", "b"]))
+        assert structure(replay(["a", "b"])) != structure(replay(["b", "a"]))
+
+
+class TestTracerAbsorb:
+    def _worker(self, group, parts):
+        worker = Tracer(f"shard:{group}", group=group)
+        for part in parts:
+            with worker.span("experiment.fig2", part=part):
+                worker.event("transport.request", platform=group)
+        return worker.export()
+
+    def test_absorb_collapses_the_worker_root_into_the_anchor(self):
+        parent = Tracer("parent")
+        with parent.span("parallel.run", jobs=2):
+            anchor = parent.absorb(self._worker("facebook", [0, 1]), "shard:facebook")
+        assert anchor.attrs == {"group": "facebook"}
+        assert [child.name for child in anchor.children] == [
+            "experiment.fig2",
+            "experiment.fig2",
+        ]
+        assert parent.event_counts() == {"transport.request": 2}
+
+    def test_absorb_shifts_times_and_keeps_nesting(self):
+        parent = Tracer("parent")
+        with parent.span("parallel.run"):
+            anchor = parent.absorb(self._worker("google", [0]), "shard:google")
+        assert anchor.start >= 0.0
+        for child in anchor.children:
+            assert anchor.start <= child.start <= child.end <= anchor.end
+        run = parent.root.children[0]
+        assert run.start <= anchor.start and anchor.end <= run.end
+
+    def test_parent_interval_covers_absorbed_concurrent_clocks(self):
+        # A worker trace can outlast the moment the parent closes its
+        # span (concurrent clocks); the parent's end must stretch.
+        worker = [
+            {
+                "id": 0,
+                "parent": None,
+                "name": "w",
+                "attrs": {},
+                "start": 0.0,
+                "end": 100.0,
+                "events": [],
+            },
+            {
+                "id": 1,
+                "parent": 0,
+                "name": "experiment.fig2",
+                "attrs": {},
+                "start": 0.0,
+                "end": 100.0,
+                "events": [],
+            },
+        ]
+        parent = Tracer("parent")
+        with parent.span("parallel.run"):
+            parent.absorb(worker, "shard:w")
+        run = parent.root.children[0]
+        anchor = run.children[0]
+        assert anchor.end == pytest.approx(anchor.start + 100.0)
+        assert run.end >= anchor.end
+        records = parent.export()
+        root = records[0]
+        assert root["end"] >= max(r["end"] for r in records)
+
+    def test_absorb_is_order_preserving_never_order_restoring(self):
+        shards = {
+            "facebook": self._worker("facebook", [0]),
+            "google": self._worker("google", [0]),
+        }
+
+        def merged(order):
+            parent = Tracer("parent")
+            with parent.span("parallel.run"):
+                for group in order:
+                    parent.absorb(shards[group], f"shard:{group}")
+            return structure(parent.export())
+
+        canonical = ["facebook", "google"]
+        assert merged(canonical) == merged(canonical)
+        assert merged(canonical) != merged(list(reversed(canonical)))
+
+
+class TestJsonlRoundTrip:
+    def test_write_jsonl_round_trips_through_load_trace(self, tmp_path):
+        tracer = Tracer("run", scale="tiny")
+        with tracer.span("experiment.fig2"):
+            tracer.event("transport.request", platform="facebook", status=200)
+        path = tracer.write_jsonl(tmp_path / "trace.jsonl")
+        meta, records = load_trace(path)
+        assert meta["version"] == 1
+        assert meta["name"] == "run"
+        assert meta["spans"] == len(records) == 2
+        assert meta["events"] == 1
+        # The root span is still open, so its exported end moves with
+        # the clock; everything else round-trips exactly.
+        exported = tracer.export()
+        assert records[1:] == exported[1:]
+        assert {k: v for k, v in records[0].items() if k != "end"} == {
+            k: v for k, v in exported[0].items() if k != "end"
+        }
+
+    def test_jsonl_lines_are_sorted_key_json(self, tmp_path):
+        tracer = Tracer("run")
+        path = tracer.write_jsonl(tmp_path / "trace.jsonl")
+        for line in path.read_text().splitlines():
+            payload = json.loads(line)
+            assert json.dumps(payload, sort_keys=True) == line
+
+
+class TestNullSinks:
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", attr=1) as span:
+            assert span is None
+        assert NULL_TRACER.event("tick") is None
+        assert NULL_TRACER.absorb([], "anchor") is None
+        assert NULL_TRACER.event_counts() == {}
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_null_metrics_is_inert(self):
+        assert NULL_METRICS.enabled is False
+        with NULL_METRICS.scope(experiment="fig2") as scope:
+            assert scope is None
+        NULL_METRICS.inc("c")
+        NULL_METRICS.gauge("g", 1.0)
+        NULL_METRICS.observe("h", 2.0)
+        assert NULL_METRICS.counter_value("c") == 0.0
+        assert NULL_METRICS.counter_total("c") == 0.0
+        assert NULL_METRICS.render() == "(metrics disabled)"
+        assert isinstance(NULL_METRICS, NullMetrics)
+
+
+class TestMetricsRegistry:
+    def test_counters_key_on_sorted_stringified_labels(self):
+        metrics = MetricsRegistry()
+        metrics.inc("requests", platform="facebook", status=200)
+        metrics.inc("requests", status="200", platform="facebook")
+        metrics.inc("requests", platform="google", status=200)
+        assert metrics.counter_value(
+            "requests", platform="facebook", status=200
+        ) == 2.0
+        assert metrics.counter_total("requests") == 3.0
+
+    def test_scopes_stack_and_unwind(self):
+        metrics = MetricsRegistry()
+        with metrics.scope(experiment="fig2"):
+            metrics.inc("cache", kind="hit")
+            with metrics.scope(target="facebook"):
+                metrics.inc("cache", kind="hit")
+        metrics.inc("cache", kind="hit")
+        assert metrics.counter_value("cache", kind="hit") == 1.0
+        assert metrics.counter_value(
+            "cache", kind="hit", experiment="fig2"
+        ) == 1.0
+        assert metrics.counter_value(
+            "cache", kind="hit", experiment="fig2", target="facebook"
+        ) == 1.0
+
+    def test_histogram_buckets_are_fixed_and_half_open(self):
+        metrics = MetricsRegistry()
+        metrics.observe("latency", 0.005)  # below the first bound
+        metrics.observe("latency", 0.01)  # on a bound: falls right
+        metrics.observe("latency", 9999.0)  # beyond the last bound
+        series = metrics.export()["histograms"][0][2]
+        assert series["bounds"] == list(DURATION_BUCKETS)
+        assert series["buckets"][0] == 1
+        assert series["buckets"][1] == 1
+        assert series["buckets"][-1] == 1
+        assert series["count"] == 3
+        assert series["sum"] == pytest.approx(0.005 + 0.01 + 9999.0)
+
+    def test_register_buckets_overrides_the_duration_default(self):
+        metrics = MetricsRegistry()
+        metrics.register_buckets("batch", COUNT_BUCKETS)
+        assert metrics.bucket_bounds("batch") == COUNT_BUCKETS
+        assert metrics.bucket_bounds("other") == DURATION_BUCKETS
+
+    def test_absorb_adds_counters_merges_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("requests", platform="facebook", value=2.0)
+        b.inc("requests", platform="facebook", value=3.0)
+        b.inc("requests", platform="google")
+        a.observe("latency", 0.2)
+        b.observe("latency", 0.3)
+        a.gauge("depth", 1.0)
+        b.gauge("depth", 7.0)
+        a.absorb(b.export())
+        assert a.counter_value("requests", platform="facebook") == 5.0
+        assert a.counter_total("requests") == 6.0
+        series = a.export()["histograms"][0][2]
+        assert series["count"] == 2
+        assert series["sum"] == pytest.approx(0.5)
+        gauges = {name: value for name, _labels, value in a.export()["gauges"]}
+        assert gauges["depth"] == 7.0  # last write wins on merge
+
+    def test_absorb_rejects_diverging_histogram_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("latency", 0.2)
+        b.register_buckets("latency", (1.0, 2.0))
+        b.observe("latency", 0.2)
+        with pytest.raises(ValueError, match="diverge"):
+            a.absorb(b.export())
+
+    def test_absorb_commutes_for_counters_and_histograms(self):
+        def build(values):
+            registry = MetricsRegistry()
+            for value in values:
+                registry.inc("requests", platform="facebook")
+                registry.observe("latency", value)
+            return registry.export()
+
+        left, right = build([0.1, 0.2]), build([5.0])
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.absorb(left)
+        ab.absorb(right)
+        ba.absorb(right)
+        ba.absorb(left)
+        exported_ab, exported_ba = ab.export(), ba.export()
+        assert exported_ab["counters"] == exported_ba["counters"]
+        assert exported_ab["histograms"] == exported_ba["histograms"]
+
+    def test_render_lists_each_family(self):
+        metrics = MetricsRegistry()
+        assert metrics.render() == "(no metrics recorded)"
+        metrics.inc("requests", platform="facebook")
+        metrics.gauge("depth", 3.0)
+        metrics.observe("latency", 0.2)
+        text = metrics.render()
+        assert "requests{platform=facebook} = 1" in text
+        assert "depth = 3" in text
+        assert "latency count=1" in text
+
+
+# -- property tests -------------------------------------------------------
+
+_NAMES = st.sampled_from(["alpha", "beta", "gamma", "delta"])
+
+#: (name, n_events, children) span programs, at most a few levels deep.
+_PROGRAMS = st.recursive(
+    st.tuples(_NAMES, st.integers(0, 2), st.just(())),
+    lambda inner: st.tuples(
+        _NAMES, st.integers(0, 2), st.lists(inner, max_size=3).map(tuple)
+    ),
+    max_leaves=12,
+)
+
+
+def _replay(tracer, program, path=""):
+    name, n_events, children = program
+    with tracer.span(name, path=path):
+        for index in range(n_events):
+            tracer.event("tick", index=index)
+        for child_index, child in enumerate(children):
+            _replay(tracer, child, path=f"{path}/{child_index}")
+
+
+def _run_program(programs):
+    tracer = Tracer("prop")
+    for index, program in enumerate(programs):
+        _replay(tracer, program, path=str(index))
+    return tracer.export()
+
+
+class TestSpanTreeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(_PROGRAMS, max_size=4))
+    def test_child_intervals_lie_within_their_parents(self, programs):
+        records = _run_program(programs)
+        by_id = {record["id"]: record for record in records}
+        for record in records:
+            assert record["start"] <= record["end"]
+            if record["parent"] is None:
+                continue
+            parent = by_id[record["parent"]]
+            assert parent["start"] <= record["start"]
+            assert record["end"] <= parent["end"]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(_PROGRAMS, max_size=4))
+    def test_export_is_preorder(self, programs):
+        records = _run_program(programs)
+        seen = set()
+        for record in records:
+            assert record["parent"] is None or record["parent"] in seen
+            seen.add(record["id"])
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(_PROGRAMS, max_size=4))
+    def test_identical_programs_have_identical_structure(self, programs):
+        assert structure(_run_program(programs)) == structure(
+            _run_program(programs)
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(_PROGRAMS, min_size=1, max_size=3), st.lists(_PROGRAMS, max_size=3))
+    def test_canonical_absorb_is_stable_and_properly_nested(self, left, right):
+        shards = {"left": _run_program(left), "right": _run_program(right)}
+
+        def merged():
+            parent = Tracer("merged")
+            with parent.span("parallel.run", jobs=2):
+                for group in ("left", "right"):  # canonical order
+                    parent.absorb(shards[group], f"shard:{group}")
+            return parent.export()
+
+        first, second = merged(), merged()
+        assert structure(first) == structure(second)
+        by_id = {record["id"]: record for record in first}
+        for record in first:
+            if record["parent"] is None:
+                continue
+            parent = by_id[record["parent"]]
+            assert parent["start"] <= record["start"]
+            assert record["end"] <= parent["end"]
+
+
+# -- repro-trace ----------------------------------------------------------
+
+
+def _sample_trace(tmp_path):
+    tracer = Tracer("repro-audit", scale="tiny")
+    with tracer.span("experiment.fig2"):
+        with tracer.span("client.estimate_many", interface="facebook"):
+            tracer.event(
+                "transport.request",
+                platform="facebook",
+                endpoint="delivery_estimates",
+                status=200,
+            )
+            tracer.event(
+                "transport.request",
+                platform="facebook",
+                endpoint="delivery_estimates",
+                status=429,
+                injected=True,
+            )
+            tracer.event("retry.after", attempt=1, retry_after=1.0)
+        tracer.event("cache.hit", target="facebook")
+    return tracer.write_jsonl(tmp_path / "trace.jsonl")
+
+
+class TestTraceReport:
+    def test_summarize_accounts_queries_and_events(self, tmp_path):
+        meta, records = load_trace(_sample_trace(tmp_path))
+        summary = summarize(meta, records)
+        assert summary["queries"]["total"] == 2
+        assert summary["queries"]["injected_faults"] == 1
+        assert summary["queries"]["by_route"] == {
+            "facebook/delivery_estimates": 2
+        }
+        assert summary["events"]["retry.after"] == 1
+        assert summary["events"]["cache.hit"] == 1
+        assert summary["spans"]["experiment.fig2"]["count"] == 1
+
+    def test_render_mentions_the_headline_numbers(self, tmp_path):
+        meta, records = load_trace(_sample_trace(tmp_path))
+        text = render(summarize(meta, records))
+        assert "platform queries: 2" in text
+        assert "injected faults: 1" in text
+        assert "retries" not in text  # no retry.backoff in the sample
+        assert "retry-after waits: 1" in text
+        assert "cache hits: 1" in text
+
+    def test_main_human_and_json(self, tmp_path, capsys):
+        path = _sample_trace(tmp_path)
+        assert main([str(path)]) == 0
+        human = capsys.readouterr().out
+        assert "top 10 spans by self-time:" in human
+        assert main([str(path), "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["queries"]["total"] == 2
+
+    def test_main_missing_file_returns_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.jsonl")]) == 2
+        assert "no such file" in capsys.readouterr().err

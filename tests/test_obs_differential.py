@@ -1,0 +1,224 @@
+"""Differential specs: observability must never change what a run does.
+
+The contract under test (DESIGN.md section 11): enabling tracing and
+metrics is purely observational.  Experiment records render
+bit-identical and query counts match with tracing off vs on -- for the
+plain sequential path, under a chaos profile, across a checkpointed
+kill/resume, and for a ``--jobs 2`` parallel run whose merged trace
+must also *account* for the run: one ``transport.request`` event per
+platform query, totalling exactly the transport's request counter
+(the ISSUE acceptance criterion).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_audit_session
+from repro.core import EstimateCheckpoint
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.context import ExperimentContext
+from repro.experiments.runner import main, run_all
+from repro.obs import MetricsRegistry, Tracer, structure
+from repro.obs.report import load_trace, summarize
+from repro.platforms.errors import PlatformError
+
+CONFIG = ExperimentConfig.tiny().with_records(3_000)
+
+
+def _traced_run(only, **kwargs):
+    tracer = Tracer("differential")
+    report = run_all(config=CONFIG, only=only, tracer=tracer, **kwargs)
+    return report, tracer
+
+
+def _renders(report):
+    return {name: result.render() for name, result in report.results.items()}
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """Untraced sequential fig2 run, with its session for accounting."""
+    session = build_audit_session(n_records=CONFIG.n_records, seed=CONFIG.seed)
+    context = ExperimentContext(CONFIG, session=session)
+    report = run_all(config=CONFIG, only=["fig2"], context=context)
+    return {
+        "render": report.results["fig2"].render(),
+        "api_requests": report.total_api_requests,
+        "platform_queries": session.suite.total_query_count(),
+    }
+
+
+class TestSequentialDifferential:
+    def test_fig2_and_table1_bit_identical_with_tracing_on(self):
+        base = run_all(config=CONFIG, only=["fig2", "table1"])
+        traced_report, tracer = _traced_run(["fig2", "table1"])
+        assert _renders(traced_report) == _renders(base)
+        assert traced_report.total_api_requests == base.total_api_requests
+        # The trace accounts for every platform query.
+        events = tracer.event_counts()
+        assert events["transport.request"] == traced_report.total_api_requests
+        # Both experiments got their own span.
+        shape = structure(tracer.export())
+        names = [child[0] for child in shape[0][3]]
+        assert names == ["experiment.fig2", "experiment.table1"]
+
+    def test_metrics_do_not_change_the_run_and_aggregate_per_experiment(
+        self, baseline
+    ):
+        metrics = MetricsRegistry()
+        report = run_all(config=CONFIG, only=["fig2"], metrics=metrics)
+        assert report.results["fig2"].render() == baseline["render"]
+        assert (
+            metrics.counter_total("transport.requests")
+            == report.total_api_requests
+        )
+        assert metrics.counter_total("transport.requests") == sum(
+            value
+            for (name, labels), value in metrics._counters.items()
+            if name == "transport.requests"
+            and ("experiment", "fig2") in labels
+        )
+
+
+class TestChaosDifferential:
+    def test_chaos_traced_run_is_bit_identical_and_accounted(self, baseline):
+        report, tracer = _traced_run(["fig2"], chaos="storm")
+        assert report.results["fig2"].render() == baseline["render"]
+        events = tracer.event_counts()
+        # Under chaos the edge sees more requests than the platforms do
+        # (denied/raised ones); the trace counts what the edge saw.
+        assert events["transport.request"] == report.total_api_requests
+        assert report.total_api_requests > baseline["api_requests"]
+        assert events["chaos.fault"] > 0
+        assert events.get("retry.backoff", 0) + events.get("retry.after", 0) > 0
+
+    def test_checkpointed_kill_resume_with_tracing_on(
+        self, tmp_path, baseline, fault_profile
+    ):
+        def run(chaos=None, checkpoint=None, budget=None):
+            tracer = Tracer("killresume")
+            session = build_audit_session(
+                n_records=CONFIG.n_records,
+                seed=CONFIG.seed,
+                chaos=chaos,
+                tracer=tracer,
+            )
+            if budget is not None:
+                for client in session.clients.values():
+                    client.max_retries = budget
+            context = ExperimentContext(CONFIG, session=session)
+            report = run_all(
+                config=CONFIG,
+                only=["fig2"],
+                context=context,
+                checkpoint=checkpoint,
+            )
+            return report, session, tracer
+
+        path = tmp_path / "fig2.ckpt.json"
+        outage = fault_profile(outage_after=6)
+        killed_tracer = Tracer("killresume")
+        killed_session = build_audit_session(
+            n_records=CONFIG.n_records,
+            seed=CONFIG.seed,
+            chaos=outage,
+            tracer=killed_tracer,
+        )
+        for client in killed_session.clients.values():
+            client.max_retries = 6
+        with pytest.raises(PlatformError):
+            run_all(
+                config=CONFIG,
+                only=["fig2"],
+                context=ExperimentContext(CONFIG, session=killed_session),
+                checkpoint=path,
+            )
+        killed = EstimateCheckpoint(path)
+        assert len(killed) > 0
+        # The kill still persisted a checkpoint, and the trace says so.
+        killed_events = killed_tracer.event_counts()
+        assert killed_events["checkpoint.save"] == 1
+        assert killed_events["chaos.fault"] > 0
+
+        resumed_report, resumed_session, resumed_tracer = run(checkpoint=path)
+        assert resumed_report.results["fig2"].render() == baseline["render"]
+        # No duplicate queries across the kill/resume pair.
+        assert (
+            len(killed) + resumed_session.suite.total_query_count()
+            == baseline["platform_queries"]
+        )
+        # The resumed trace records the preloaded entries per target.
+        # Targets sharing an interface (one's client is another's
+        # measure client) each preload its shard, so the per-target
+        # counts cover every checkpointed entry at least once.
+        loads = [
+            attrs["entries"]
+            for name, _t, attrs in resumed_tracer.root.events
+            if name == "checkpoint.load"
+        ]
+        assert loads and sum(loads) >= len(killed)
+        assert (
+            resumed_tracer.event_counts()["transport.request"]
+            == resumed_session.total_api_requests()
+        )
+
+
+class TestParallelDifferential:
+    """ISSUE acceptance: ``--jobs 2 --trace`` is bit-identical and accounted."""
+
+    @pytest.fixture(scope="class")
+    def parallel_run(self):
+        return _traced_run(["fig2"], jobs=2)
+
+    def test_jobs2_records_bit_identical_to_sequential(
+        self, parallel_run, baseline
+    ):
+        report, tracer = parallel_run
+        assert report.jobs == 2
+        assert report.results["fig2"].render() == baseline["render"]
+        assert report.total_api_requests == baseline["api_requests"]
+
+    def test_merged_trace_accounts_every_platform_query(self, parallel_run):
+        report, tracer = parallel_run
+        events = tracer.event_counts()
+        assert events["transport.request"] == report.total_api_requests
+
+    def test_merged_trace_is_canonical_and_seed_stable(self, parallel_run):
+        _, first = parallel_run
+        second_report, second = _traced_run(["fig2"], jobs=2)
+        assert structure(first.export()) == structure(second.export())
+        # Shards merge in canonical group order, never completion order.
+        run_span = next(
+            child for child in first.root.children if child.name == "parallel.run"
+        )
+        groups = [child.name for child in run_span.children]
+        assert groups == sorted(groups)
+        assert all(name.startswith("shard:") for name in groups)
+
+    def test_cli_jobs2_trace_and_metrics(self, tmp_path, baseline, capsys):
+        trace_path = tmp_path / "out.jsonl"
+        exit_code = main(
+            [
+                "--scale",
+                "tiny",
+                "--records",
+                "3000",
+                "--only",
+                "fig2",
+                "--jobs",
+                "2",
+                "--trace",
+                str(trace_path),
+                "--metrics",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert trace_path.exists()
+        assert "trace written to" in captured.err
+        assert "transport.requests" in captured.out
+        meta, records = load_trace(trace_path)
+        summary = summarize(meta, records)
+        assert summary["queries"]["total"] == baseline["api_requests"]
+        assert summary["spans"]["experiment.fig2"]["count"] >= 1

@@ -333,3 +333,66 @@ class TestClientBackoffSchedule:
             (old, new) for _, old, new in breaker.transitions
         }
         assert transport.clock.now() >= 5.0
+
+
+class TestBreakerTransitionClock:
+    """Transition timestamps come from the injected clock, replayably.
+
+    The lazy open -> half-open resolution must be stamped at the
+    moment the timeout elapsed on the fake clock -- never at the
+    (arbitrarily later) observation -- so a tracer polling breaker
+    state cannot perturb the recorded trajectory.
+    """
+
+    def _breaker(self, clock, **kwargs):
+        kwargs.setdefault("failure_threshold", 2)
+        kwargs.setdefault("reset_timeout", 10.0)
+        return CircuitBreaker(clock=clock, **kwargs)
+
+    def test_late_observation_stamps_the_true_half_open_moment(self):
+        clock = VirtualClock(start=100.0)
+        breaker = self._breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(500.0)  # poll long after the window lapsed
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.transitions == [
+            (100.0, "closed", "open"),
+            (110.0, "open", "half_open"),
+        ]
+
+    def test_observation_cadence_does_not_change_the_trajectory(self):
+        def run(poll_every):
+            clock = VirtualClock()
+            breaker = self._breaker(clock)
+            breaker.record_failure()
+            breaker.record_failure()
+            for _ in range(int(30.0 / poll_every)):
+                clock.advance(poll_every)
+                breaker.state  # an observer, like a tracer, polling
+            breaker.record_success()
+            breaker.record_success()
+            return breaker.transitions
+
+        assert run(0.5) == run(15.0)
+
+    def test_transitions_emit_tracer_events_with_clock_timestamps(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer("breaker-test")
+        clock = VirtualClock(start=7.0)
+        breaker = self._breaker(clock, name="facebook", tracer=tracer)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        breaker.record_success()
+        breaker.record_success()
+        events = [
+            attrs
+            for name, _t, attrs in tracer.root.events
+            if name == "breaker.transition"
+        ]
+        assert [
+            (e["at"], e["from_state"], e["to_state"]) for e in events
+        ] == breaker.transitions
+        assert {e["breaker"] for e in events} == {"facebook"}
