@@ -1,34 +1,58 @@
-"""``repro-lint``: AST-based determinism & architecture analysis.
+"""``repro-lint``: whole-program determinism & architecture analysis.
 
 A pluggable static-analysis framework guarding the conventions the
-reproduction's guarantees rest on, in three rule families:
+reproduction's guarantees rest on.  Per-module rule families:
 
 * ``determinism/*`` -- no wall-clock reads, no unseeded randomness,
   no iteration over hash/OS-ordered collections without ``sorted``;
 * ``layering/*`` -- the package import DAG ``population -> platforms
   -> api -> core -> reporting/experiments`` stays one-directional;
-* ``errors/*`` -- no broad excepts, typed ``platforms.errors`` raises
-  on transport request paths, no ``print`` in library code.
+* ``errors/*`` -- no broad excepts, no ``print`` in library code;
+* ``parallel/*`` / ``obs/*`` -- fan-out and instrumentation stay
+  routed through their subsystems.
+
+Whole-program rule families run over a linked symbol table and call
+graph (:mod:`repro.analysis.graph`) with fixpoint dataflow summaries
+(:mod:`repro.analysis.dataflow`):
+
+* ``taint/restricted-flow`` -- sensitive demographic values never
+  reach restricted-interface calls outside the audited ``core.audit``
+  measurement seam;
+* ``errors/transport-escape`` -- only ``platforms.errors`` types can
+  escape transport request paths, proven interprocedurally;
+* ``determinism/transitive-ambient`` -- public functions transitively
+  reaching ambient entropy are flagged with the call chain.
 
 Run it as ``repro-lint src`` (or ``python -m repro.analysis src``),
 or import :func:`analyze_paths` / :func:`analyze_source` directly;
-``tests/test_lint_clean.py`` gates tier-1 on a clean tree.
+``tests/test_lint_clean.py`` gates tier-1 on a clean tree.  Warm
+re-runs are incremental (``.repro-lint-cache.json``); see
+``--changed``, ``--jobs``, and ``--format sarif`` for the pre-commit
+and CI surfaces.
 """
 
 from repro.analysis.baseline import Baseline, BaselineEntry
-from repro.analysis.cli import json_payload, main, run_lint
+from repro.analysis.cli import json_payload, main, run_lint, select_rules
 from repro.analysis.core import (
     AnalysisReport,
     Finding,
     ModuleContext,
+    ProjectRule,
     Rule,
+    all_project_rules,
     all_rules,
     analyze_paths,
+    analyze_project,
     analyze_source,
     module_name_for,
+    project_rule,
     register,
     rule,
 )
+from repro.analysis.dataflow import SummaryProblem, fixpoint
+from repro.analysis.graph import ModuleSummary, Project, extract_summary
+from repro.analysis.incremental import incremental_analyze
+from repro.analysis.sarif import sarif_document
 
 __all__ = [
     "AnalysisReport",
@@ -36,14 +60,26 @@ __all__ = [
     "BaselineEntry",
     "Finding",
     "ModuleContext",
+    "ModuleSummary",
+    "Project",
+    "ProjectRule",
     "Rule",
+    "SummaryProblem",
+    "all_project_rules",
     "all_rules",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
+    "extract_summary",
+    "fixpoint",
+    "incremental_analyze",
     "json_payload",
     "main",
     "module_name_for",
+    "project_rule",
     "register",
     "rule",
     "run_lint",
+    "sarif_document",
+    "select_rules",
 ]

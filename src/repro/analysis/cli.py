@@ -1,17 +1,26 @@
 """``repro-lint`` console entry point.
 
-Runs every registered rule over the given paths (default: ``src``)
-and reports findings as ``path:line:col: rule: message`` lines or as
-a JSON document (``--format json``) suitable for recording alongside
-benchmark output.  Exit status is 0 when the tree is clean -- no
-unsuppressed, non-baselined findings, no parse errors, no stale
-baseline entries -- and 1 otherwise.
+Runs every registered rule -- per-module and whole-program -- over the
+given paths (default: ``src``) and reports findings as
+``path:line:col: rule: message`` lines, as a JSON document
+(``--format json``), or as SARIF 2.1.0 (``--format sarif``) for
+editor and CI annotation surfaces.  Exit status is 0 when the tree is
+clean -- no unsuppressed, non-baselined findings, no parse errors, no
+stale baseline entries -- and 1 otherwise.
+
+Per-file work is cached in ``.repro-lint-cache.json`` keyed by source
+fingerprint, so warm re-runs only re-analyze edited files (the
+whole-program link always runs; it is cheap).  ``--changed`` narrows
+reporting to edited files for the pre-commit loop, and ``--jobs N``
+fans cold extraction out over processes.
 
 Usage::
 
     repro-lint src
-    repro-lint --format json src tests
-    repro-lint --rules determinism src
+    repro-lint --format sarif src tests
+    repro-lint --changed
+    repro-lint --jobs 4 --no-cache src
+    repro-lint --rules determinism taint src
     repro-lint --write-baseline lint_baseline.json src
 """
 
@@ -19,23 +28,41 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 from pathlib import Path
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.analysis.baseline import Baseline
-from repro.analysis.core import AnalysisReport, Rule, all_rules, analyze_paths
+from repro.analysis.core import (
+    AnalysisReport,
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    analyze_paths,
+)
+from repro.analysis.incremental import CACHE_FILENAME, incremental_analyze
+from repro.analysis.sarif import sarif_document
 
-__all__ = ["json_payload", "main", "select_rules"]
+__all__ = ["json_payload", "main", "run_lint", "select_rules"]
 
 #: Baseline file picked up automatically when it exists in the
 #: current directory and ``--baseline``/``--no-baseline`` is absent.
 DEFAULT_BASELINE = "lint_baseline.json"
 
 
-def select_rules(selectors: Sequence[str] | None) -> tuple[Rule, ...]:
-    """Registered rules matching the ids/families given (all if none)."""
-    rules = all_rules()
+def select_rules(
+    selectors: Sequence[str] | None,
+) -> tuple[Rule | ProjectRule, ...]:
+    """Registered rules matching the ids/families given (all if none).
+
+    Covers both the per-module and the whole-program registries, so
+    ``--rules taint`` selects the interprocedural taint family.
+    """
+    rules: tuple[Rule | ProjectRule, ...] = tuple(
+        sorted(all_rules() + all_project_rules(), key=lambda item: item.id)
+    )
     if not selectors:
         return rules
     chosen = tuple(
@@ -48,34 +75,58 @@ def select_rules(selectors: Sequence[str] | None) -> tuple[Rule, ...]:
     return chosen
 
 
+def _split_rules(
+    rules: Sequence[Rule | ProjectRule],
+) -> tuple[list[Rule], list[ProjectRule]]:
+    module_rules = [item for item in rules if isinstance(item, Rule)]
+    project_rules = [item for item in rules if isinstance(item, ProjectRule)]
+    return module_rules, project_rules
+
+
 def json_payload(
     report: AnalysisReport,
-    rules: Sequence[Rule],
+    rules: Sequence[Rule | ProjectRule],
     wall_seconds: float,
     baselined: int = 0,
     stale_baseline: int = 0,
+    cache_stats: Mapping[str, int] | None = None,
 ) -> dict[str, object]:
     """The ``--format json`` document (also recorded by benchmarks)."""
-    return {
+    payload: dict[str, object] = {
         "files": report.files,
         "wall_seconds": round(wall_seconds, 4),
+        "interprocedural_seconds": round(report.interprocedural_seconds, 4),
         "rules": report.rule_counts(rules),
+        "families": report.family_counts(),
         "findings": [finding.to_json() for finding in report.findings],
         "suppressed": len(report.suppressed),
         "baselined": baselined,
         "stale_baseline_entries": stale_baseline,
         "parse_errors": list(report.parse_errors),
     }
+    if cache_stats is not None:
+        payload["cache"] = dict(cache_stats)
+    return payload
 
 
 def run_lint(
     paths: Sequence[str | Path],
-    rules: Sequence[Rule] | None = None,
+    rules: Sequence[Rule | ProjectRule] | None = None,
     root: str | Path | None = None,
 ) -> tuple[AnalysisReport, float]:
-    """Analyze ``paths``; returns the report and analyzer wall time."""
+    """Analyze ``paths`` uncached; returns the report and wall time.
+
+    ``rules`` may mix per-module and whole-program rules; when given,
+    only the listed whole-program rules run (none if none listed).
+    """
     started = time.perf_counter()
-    report = analyze_paths(paths, rules=rules, root=root)
+    if rules is None:
+        report = analyze_paths(paths, root=root)
+    else:
+        module_rules, project_rules = _split_rules(rules)
+        report = analyze_paths(
+            paths, rules=module_rules, root=root, project_rules=project_rules
+        )
     return report, time.perf_counter() - started
 
 
@@ -83,8 +134,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
-            "AST-based determinism & architecture analyzer for the "
-            "reproduction; see DESIGN.md for the conventions enforced."
+            "whole-program determinism, taint, and architecture analyzer "
+            "for the reproduction; see DESIGN.md for the conventions "
+            "enforced."
         ),
     )
     parser.add_argument(
@@ -92,7 +144,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="output format (default: human)",
     )
@@ -123,6 +175,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="write current findings as the new baseline and exit 0",
     )
     parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "report only files whose fingerprint differs from the cache "
+            "(git dirty set when no cache exists); stale-baseline "
+            "detection is skipped"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="extraction worker processes (0 = one per CPU; default 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help=f"fingerprint cache file (default: ./{CACHE_FILENAME})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the fingerprint cache",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="list rules and exit"
     )
     args = parser.parse_args(argv)
@@ -133,7 +212,27 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{rule.id}: {rule.summary}")
         return 0
 
-    report, wall = run_lint(args.paths, rules=rules)
+    module_rules, project_rules = _split_rules(rules)
+    cache_path: Path | None
+    if args.no_cache:
+        cache_path = None
+    elif args.cache is not None:
+        cache_path = Path(args.cache)
+    else:
+        cache_path = Path(CACHE_FILENAME)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+
+    started = time.perf_counter()
+    report, cache_stats = incremental_analyze(
+        args.paths,
+        module_rules,
+        root=Path.cwd(),
+        cache_path=cache_path,
+        jobs=jobs,
+        changed_only=args.changed,
+        project_rules=project_rules,
+    )
+    wall = time.perf_counter() - started
 
     if args.write_baseline:
         Baseline.from_findings(report.findings).save(args.write_baseline)
@@ -149,6 +248,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     new, matched, stale = (report.findings, [], [])
     if baseline_path is not None and not args.no_baseline:
         new, matched, stale = Baseline.load(baseline_path).apply(report.findings)
+    if args.changed:
+        # A changed-files run sees only a slice of the tree, so absent
+        # baseline entries prove nothing about staleness.
+        stale = []
 
     failed = bool(new or report.parse_errors or stale)
     if args.format == "json":
@@ -160,10 +263,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                     wall,
                     baselined=len(matched),
                     stale_baseline=len(stale),
+                    cache_stats=cache_stats,
                 ),
                 indent=2,
             )
         )
+        return 1 if failed else 0
+    if args.format == "sarif":
+        print(json.dumps(sarif_document(new, rules), indent=2))
         return 1 if failed else 0
 
     for finding in new:
@@ -178,7 +285,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     summary = (
         f"{report.files} file(s), {len(new)} finding(s), "
         f"{len(report.suppressed)} suppressed, {len(matched)} baselined, "
-        f"{wall:.2f}s"
+        f"{wall:.2f}s (interprocedural {report.interprocedural_seconds:.2f}s, "
+        f"cache {cache_stats['cache_hits']}/{report.files})"
     )
     print(("FAIL " if failed else "ok ") + summary)
     return 1 if failed else 0

@@ -91,79 +91,10 @@ def check_broad_except(ctx: ModuleContext) -> Iterator[Finding]:
             )
 
 
-def _request_handlers(
-    tree: ast.Module,
-) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
-    """Functions that take part in request dispatch.
-
-    A function is on the request path when it takes a parameter named
-    ``request`` or annotated ``HttpRequest`` -- true of the transport's
-    dispatch method, every route handler, and every cost callable.
-    """
-    for node in ast.walk(tree):
-        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            continue
-        params = list(node.args.posonlyargs) + list(node.args.args) + list(
-            node.args.kwonlyargs
-        )
-        for param in params:
-            annotation = getattr(param.annotation, "id", None) or getattr(
-                param.annotation, "attr", None
-            )
-            if param.arg == "request" or annotation == "HttpRequest":
-                yield node
-                break
-
-
-def _raises_outside_nested_defs(
-    func: ast.FunctionDef | ast.AsyncFunctionDef,
-) -> Iterator[ast.Raise]:
-    stack: list[ast.AST] = list(func.body)
-    while stack:
-        node = stack.pop()
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-            continue  # nested defs qualify (or not) on their own
-        if isinstance(node, ast.Raise):
-            yield node
-        stack.extend(ast.iter_child_nodes(node))
-
-
-@rule(
-    "errors/transport-raise",
-    "request-path code in the transport layer raises only "
-    "platforms.errors types",
-)
-def check_transport_raise(ctx: ModuleContext) -> Iterator[Finding]:
-    if ctx.module not in TRANSPORT_MODULES:
-        return
-    local_classes = {
-        node.name for node in ctx.tree.body if isinstance(node, ast.ClassDef)
-    }
-    for func in _request_handlers(ctx.tree):
-        for node in _raises_outside_nested_defs(func):
-            if node.exc is None:
-                continue  # re-raise keeps the original type
-            target = node.exc.func if isinstance(node.exc, ast.Call) else node.exc
-            resolved = ctx.resolve(target)
-            if resolved is not None:
-                if not resolved.startswith("repro.platforms"):
-                    yield ctx.finding(
-                        "errors/transport-raise",
-                        node,
-                        f"raising {resolved} from a request path; clients "
-                        "map failures to statuses via the platforms.errors "
-                        "hierarchy",
-                    )
-                continue
-            if not isinstance(target, ast.Name):
-                continue  # dynamic raise of a computed exception value
-            if target.id in _BUILTIN_EXCEPTIONS or target.id in local_classes:
-                yield ctx.finding(
-                    "errors/transport-raise",
-                    node,
-                    f"raising {target.id} from a request path; use a "
-                    "platforms.errors type so clients see a typed failure",
-                )
+# The former syntactic ``errors/transport-raise`` check lives on as
+# the interprocedural ``errors/transport-escape`` project rule in
+# :mod:`repro.analysis.flows`: it follows helper calls and honours
+# try/except context instead of inspecting one function at a time.
 
 
 @rule(

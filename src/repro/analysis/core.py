@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import ast
 import io
+import time
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -34,11 +35,15 @@ __all__ = [
     "AnalysisReport",
     "Finding",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
+    "all_project_rules",
     "all_rules",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
     "module_name_for",
+    "project_rule",
     "register",
     "rule",
 ]
@@ -128,6 +133,53 @@ def all_rules() -> tuple[Rule, ...]:
     return tuple(_REGISTRY[key] for key in sorted(_REGISTRY))
 
 
+# -- project rules --------------------------------------------------------
+
+#: A project rule's check runs once over the linked
+#: :class:`~repro.analysis.graph.Project` rather than per module.
+ProjectCheck = Callable[[object], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class ProjectRule:
+    """A whole-program check run over the linked call graph."""
+
+    id: str
+    summary: str
+    check: ProjectCheck
+
+    @property
+    def family(self) -> str:
+        """Rule family, the id segment before the slash."""
+        return self.id.partition("/")[0]
+
+
+_PROJECT_REGISTRY: dict[str, ProjectRule] = {}
+
+
+def project_rule(
+    rule_id: str, summary: str
+) -> Callable[[ProjectCheck], ProjectCheck]:
+    """Decorator registering a check as a :class:`ProjectRule`."""
+
+    def decorate(check: ProjectCheck) -> ProjectCheck:
+        if rule_id in _PROJECT_REGISTRY or rule_id in _REGISTRY:
+            raise ValueError(f"rule {rule_id!r} already registered")
+        _PROJECT_REGISTRY[rule_id] = ProjectRule(
+            id=rule_id, summary=summary, check=check
+        )
+        return check
+
+    return decorate
+
+
+def all_project_rules() -> tuple[ProjectRule, ...]:
+    """Every registered project rule, sorted by id."""
+    from repro.analysis import flows  # noqa: F401  (registration side effects)
+
+    return tuple(_PROJECT_REGISTRY[key] for key in sorted(_PROJECT_REGISTRY))
+
+
 # -- import resolution ----------------------------------------------------
 
 
@@ -192,7 +244,24 @@ def dotted_name(node: ast.AST, bindings: Mapping[str, str]) -> str | None:
 def _matches(selector: str, rule_id: str) -> bool:
     if selector in ("all", "*"):
         return True
+    if selector.endswith("/*"):
+        return rule_id.partition("/")[0] == selector[:-2]
     return rule_id == selector or rule_id.startswith(selector + "/")
+
+
+def _directive_selectors(comment: str) -> set[str] | None:
+    """Selectors from one comment token, or ``None`` if not a directive."""
+    text = comment.lstrip("#").strip()
+    if not text.startswith(DIRECTIVE):
+        return None
+    text = text[len(DIRECTIVE) :].strip()
+    if not text.startswith("disable="):
+        return None
+    return {
+        part.strip()
+        for part in text[len("disable=") :].split()[0].split(",")
+        if part.strip()
+    }
 
 
 def _parse_directives(
@@ -200,10 +269,14 @@ def _parse_directives(
 ) -> tuple[dict[int, set[str]], set[str]]:
     """(line -> selectors, file-wide selectors) from lint comments.
 
-    A directive trailing code suppresses matching rules on that line
-    only; a directive on a line of its own suppresses them for the
-    whole file.  Tokenizing (rather than regex over lines) keeps
-    directive-looking text inside string literals inert.
+    A directive trailing a statement suppresses matching rules on
+    every line of that *logical* statement -- a trailing directive on
+    the first line of a multi-line call covers the whole call.  A
+    directive on a line of its own at statement level suppresses for
+    the whole file.  Tokenizing (rather than regex over lines) keeps
+    directive-looking text inside string literals inert and lets
+    logical-line extents come from NEWLINE/NL tokens instead of
+    bracket-counting heuristics.
     """
     per_line: dict[int, set[str]] = {}
     file_wide: set[str] = set()
@@ -211,26 +284,44 @@ def _parse_directives(
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, IndentationError, SyntaxError):
         return per_line, file_wide
+    skip = {
+        tokenize.NL,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+    logical_start: int | None = None
+    pending: set[str] = set()
+    last_code_line = 0
+
+    def flush(end_line: int) -> None:
+        nonlocal logical_start, pending
+        if pending and logical_start is not None:
+            for line in range(logical_start, end_line + 1):
+                per_line.setdefault(line, set()).update(pending)
+        logical_start = None
+        pending = set()
+
     for tok in tokens:
-        if tok.type != tokenize.COMMENT:
+        if tok.type == tokenize.COMMENT:
+            selectors = _directive_selectors(tok.string)
+            if selectors is None:
+                continue
+            if logical_start is None:
+                file_wide.update(selectors)
+            else:
+                pending.update(selectors)
             continue
-        text = tok.string.lstrip("#").strip()
-        if not text.startswith(DIRECTIVE):
+        if tok.type == tokenize.NEWLINE:
+            flush(tok.start[0])
             continue
-        text = text[len(DIRECTIVE) :].strip()
-        if not text.startswith("disable="):
+        if tok.type in skip:
             continue
-        selectors = {
-            part.strip()
-            for part in text[len("disable=") :].split()[0].split(",")
-            if part.strip()
-        }
-        line_text = source.splitlines()[tok.start[0] - 1]
-        before = line_text[: tok.start[1]].strip()
-        if before:
-            per_line.setdefault(tok.start[0], set()).update(selectors)
-        else:
-            file_wide.update(selectors)
+        if logical_start is None:
+            logical_start = tok.start[0]
+        last_code_line = tok.end[0]
+    flush(last_code_line)
     return per_line, file_wide
 
 
@@ -298,6 +389,8 @@ class AnalysisReport:
     suppressed: list[Finding] = field(default_factory=list)
     files: int = 0
     parse_errors: list[str] = field(default_factory=list)
+    #: Wall seconds spent linking + running whole-program rules.
+    interprocedural_seconds: float = 0.0
 
     def rule_counts(self, rules: Sequence[Rule]) -> dict[str, int]:
         """Unsuppressed finding count per rule id (zeros included)."""
@@ -306,9 +399,48 @@ class AnalysisReport:
             counts[finding.rule] = counts.get(finding.rule, 0) + 1
         return counts
 
+    def family_counts(self) -> dict[str, int]:
+        """Unsuppressed finding count per rule family."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            family = finding.rule.partition("/")[0]
+            counts[family] = counts.get(family, 0) + 1
+        return counts
+
     @property
     def clean(self) -> bool:
         return not self.findings and not self.parse_errors
+
+
+def build_context(
+    source: str,
+    path: str = "<string>",
+    module: str = "",
+    is_package: bool = False,
+) -> ModuleContext:
+    """Parse one source string into a :class:`ModuleContext`."""
+    tree = ast.parse(source, filename=path)
+    per_line, file_wide = _parse_directives(source)
+    return ModuleContext(
+        path=path,
+        module=module,
+        is_package=is_package,
+        tree=tree,
+        bindings=_collect_bindings(tree, module, is_package),
+        line_suppressions=per_line,
+        file_suppressions=frozenset(file_wide),
+    )
+
+
+def _run_module_rules(
+    ctx: ModuleContext, rules: Sequence[Rule]
+) -> tuple[list[Finding], list[Finding]]:
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    for item in rules:
+        for finding in item.check(ctx):
+            (suppressed if ctx.is_suppressed(finding) else findings).append(finding)
+    return sorted(findings), sorted(suppressed)
 
 
 def analyze_source(
@@ -320,22 +452,33 @@ def analyze_source(
 ) -> tuple[list[Finding], list[Finding]]:
     """Lint one source string; returns (findings, suppressed findings)."""
     rules = list(rules) if rules is not None else list(all_rules())
-    tree = ast.parse(source, filename=path)
-    per_line, file_wide = _parse_directives(source)
-    ctx = ModuleContext(
-        path=path,
-        module=module,
-        is_package=is_package,
-        tree=tree,
-        bindings=_collect_bindings(tree, module, is_package),
-        line_suppressions=per_line,
-        file_suppressions=frozenset(file_wide),
-    )
+    ctx = build_context(source, path=path, module=module, is_package=is_package)
+    return _run_module_rules(ctx, rules)
+
+
+#: Per-path suppression maps gathered during extraction, consumed when
+#: routing whole-program findings: path -> (line map, file-wide set).
+SuppressionIndex = Mapping[str, tuple[Mapping[int, set[str]], frozenset[str]]]
+
+
+def run_project_rules(
+    project: object,
+    project_rules: Sequence[ProjectRule],
+    suppressions: SuppressionIndex,
+) -> tuple[list[Finding], list[Finding]]:
+    """Run whole-program rules; route findings through suppressions."""
     findings: list[Finding] = []
     suppressed: list[Finding] = []
-    for item in rules:
-        for finding in item.check(ctx):
-            (suppressed if ctx.is_suppressed(finding) else findings).append(finding)
+    for item in project_rules:
+        for finding in item.check(project):
+            per_line, file_wide = suppressions.get(
+                finding.path, ({}, frozenset())
+            )
+            selectors = set(per_line.get(finding.line, set())) | set(file_wide)
+            if any(_matches(s, finding.rule) for s in selectors):
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
     return sorted(findings), sorted(suppressed)
 
 
@@ -354,16 +497,28 @@ def analyze_paths(
     paths: Iterable[str | Path],
     rules: Sequence[Rule] | None = None,
     root: str | Path | None = None,
+    project_rules: Sequence[ProjectRule] | None = None,
 ) -> AnalysisReport:
     """Lint every Python file under ``paths``.
 
     ``root`` anchors the paths reported in findings (defaults to the
     current directory; absolute paths are reported when a file lies
-    outside it).
+    outside it).  After the per-module pass, the modules are linked
+    into a :class:`~repro.analysis.graph.Project` and every project
+    rule runs over the whole-program call graph.
     """
+    from repro.analysis.graph import Project, extract_summary
+
     rules = list(rules) if rules is not None else list(all_rules())
+    project_rules = (
+        list(project_rules)
+        if project_rules is not None
+        else list(all_project_rules())
+    )
     root = Path(root) if root is not None else Path.cwd()
     report = AnalysisReport()
+    summaries = []
+    suppressions: dict[str, tuple[Mapping[int, set[str]], frozenset[str]]] = {}
     for file_path in iter_python_files(Path(p) for p in paths):
         report.files += 1
         try:
@@ -373,18 +528,74 @@ def analyze_paths(
         module, is_package = module_name_for(file_path)
         try:
             source = file_path.read_text(encoding="utf-8")
-            findings, suppressed = analyze_source(
-                source,
-                path=display,
-                module=module,
-                is_package=is_package,
-                rules=rules,
+            ctx = build_context(
+                source, path=display, module=module, is_package=is_package
             )
         except (SyntaxError, UnicodeDecodeError) as exc:
             report.parse_errors.append(f"{display}: {exc}")
             continue
+        findings, suppressed = _run_module_rules(ctx, rules)
+        report.findings.extend(findings)
+        report.suppressed.extend(suppressed)
+        if project_rules:
+            summaries.append(extract_summary(ctx))
+            suppressions[display] = (
+                ctx.line_suppressions,
+                ctx.file_suppressions,
+            )
+    if project_rules:
+        started = time.perf_counter()
+        project = Project(summaries)
+        findings, suppressed = run_project_rules(
+            project, project_rules, suppressions
+        )
+        report.interprocedural_seconds = time.perf_counter() - started
         report.findings.extend(findings)
         report.suppressed.extend(suppressed)
     report.findings.sort()
     report.suppressed.sort()
     return report
+
+
+def analyze_project(
+    files: Sequence[tuple[str, str, str]],
+    rules: Sequence[Rule] | None = None,
+    project_rules: Sequence[ProjectRule] | None = None,
+) -> tuple[list[Finding], list[Finding]]:
+    """Lint a multi-module fixture given ``(path, module, source)`` triples.
+
+    Runs both the per-module rules and the whole-program rules, exactly
+    as :func:`analyze_paths` would for files on disk; used by tests to
+    exercise interprocedural rules without touching the filesystem.
+    """
+    from repro.analysis.graph import Project, extract_summary
+
+    rules = list(rules) if rules is not None else list(all_rules())
+    project_rules = (
+        list(project_rules)
+        if project_rules is not None
+        else list(all_project_rules())
+    )
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    summaries = []
+    suppressions: dict[str, tuple[Mapping[int, set[str]], frozenset[str]]] = {}
+    for path, module, source in files:
+        ctx = build_context(
+            source,
+            path=path,
+            module=module,
+            is_package=path.endswith("__init__.py"),
+        )
+        file_findings, file_suppressed = _run_module_rules(ctx, rules)
+        findings.extend(file_findings)
+        suppressed.extend(file_suppressed)
+        summaries.append(extract_summary(ctx))
+        suppressions[path] = (ctx.line_suppressions, ctx.file_suppressions)
+    project = Project(summaries)
+    project_findings, project_suppressed = run_project_rules(
+        project, project_rules, suppressions
+    )
+    return sorted(findings + project_findings), sorted(
+        suppressed + project_suppressed
+    )

@@ -1,0 +1,111 @@
+"""Worklist fixpoint engine for interprocedural summaries.
+
+The interprocedural rules in :mod:`repro.analysis.flows` all follow
+the same shape: each function gets a *summary* value drawn from a
+finite lattice (a frozenset of escaping exception types, a record of
+taint bits, a set of reachable ambient-entropy sources), computed from
+its own body plus the summaries of its callees.  Because the call
+graph has cycles (recursion, mutual dispatch), summaries are computed
+to a fixpoint with a classic worklist: when a function's summary
+grows, its callers are re-queued.
+
+The engine is lattice-agnostic: a :class:`SummaryProblem` supplies the
+bottom element and a transfer function, and promises only that the
+values it produces are comparable with ``==`` and form a finite
+ascending chain (so termination is guaranteed).  A generous iteration
+cap turns an accidental infinite ascent into a loud error rather than
+a hang.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Hashable, Iterable, Mapping, TypeVar
+
+__all__ = ["SummaryProblem", "fixpoint", "reachable"]
+
+Value = TypeVar("Value")
+Node = Hashable
+
+
+class SummaryProblem(Generic[Value]):
+    """One dataflow problem over the call graph.
+
+    Subclasses (or duck-typed equivalents) provide:
+
+    ``bottom()``
+        The least lattice element every summary starts at.
+
+    ``transfer(node, summaries)``
+        The node's new summary given the current summary map.  Must be
+        monotone: growing an input summary may only grow the output.
+    """
+
+    def bottom(self) -> Value:
+        raise NotImplementedError
+
+    def transfer(self, node: Node, summaries: Mapping[Node, Value]) -> Value:
+        raise NotImplementedError
+
+
+def fixpoint(
+    nodes: Iterable[Node],
+    dependents: Mapping[Node, Iterable[Node]],
+    problem: SummaryProblem[Value],
+    max_steps: int | None = None,
+) -> dict[Node, Value]:
+    """Solve ``problem`` to a fixpoint over ``nodes``.
+
+    ``dependents`` maps each node to the nodes whose transfer reads
+    its summary (for call-graph summaries: a function's callers), so a
+    change re-queues exactly the affected nodes.  Returns the summary
+    map at the fixpoint.
+    """
+    ordered = list(nodes)
+    summaries: dict[Node, Value] = {node: problem.bottom() for node in ordered}
+    # Seed in deterministic order; a deque-of-set hybrid keeps each
+    # node queued at most once.
+    queue: list[Node] = list(ordered)
+    queued: set[Node] = set(ordered)
+    steps = 0
+    cap = max_steps if max_steps is not None else max(10_000, 50 * len(ordered))
+    while queue:
+        steps += 1
+        if steps > cap:
+            raise RuntimeError(
+                f"dataflow fixpoint did not converge after {cap} steps; "
+                "a transfer function is not monotone"
+            )
+        node = queue.pop(0)
+        queued.discard(node)
+        updated = problem.transfer(node, summaries)
+        if updated != summaries[node]:
+            summaries[node] = updated
+            for dependent in dependents.get(node, ()):  # type: ignore[union-attr]
+                if dependent not in queued and dependent in summaries:
+                    queue.append(dependent)
+                    queued.add(dependent)
+    return summaries
+
+
+def reachable(
+    start: Node,
+    successors: Callable[[Node], Iterable[Node]],
+    goal: Callable[[Node], bool],
+) -> list[Node] | None:
+    """Shortest call path from ``start`` to a goal node (BFS witness).
+
+    Used after a fixpoint to reconstruct a human-readable chain for a
+    finding's message; returns the node path including both endpoints,
+    or ``None`` when no goal is reachable.
+    """
+    frontier: list[tuple[Node, tuple[Node, ...]]] = [(start, (start,))]
+    seen = {start}
+    while frontier:
+        node, path = frontier.pop(0)
+        if goal(node):
+            return list(path)
+        for successor in successors(node):
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append((successor, path + (successor,)))
+    return None

@@ -1,0 +1,82 @@
+"""SARIF 2.1.0 output for ``repro-lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is what editors
+and CI annotation surfaces ingest, so findings land as squiggles and
+PR annotations instead of console lines.  One run object carries the
+full rule metadata; each finding becomes a ``result`` with a physical
+location.  Columns are 0-based internally and 1-based in SARIF.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.analysis.core import Finding
+
+__all__ = ["sarif_document"]
+
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def sarif_document(
+    findings: Sequence[Finding],
+    rules: Sequence,
+    tool_version: str = "1.0",
+) -> dict[str, Any]:
+    """The SARIF run document for one analyzer invocation."""
+    rule_index = {item.id: index for index, item in enumerate(rules)}
+    descriptors = [
+        {
+            "id": item.id,
+            "shortDescription": {"text": item.summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for item in rules
+    ]
+    results = []
+    for finding in findings:
+        result: dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "version": tool_version,
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": descriptors,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

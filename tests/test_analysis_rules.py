@@ -17,8 +17,10 @@ from repro.analysis import (
     Baseline,
     Finding,
     Rule,
+    all_project_rules,
     all_rules,
     analyze_paths,
+    analyze_project,
     analyze_source,
     module_name_for,
     register,
@@ -411,69 +413,177 @@ def test_typed_except_negative():
     assert findings == []
 
 
-def test_transport_raise_positive():
-    findings, _ = lint(
-        """
-        def handler(request):
-            raise RuntimeError("boom")
-        """,
-        module="repro.api.transport",
-        path="src/repro/api/transport.py",
+def link_files(*files, rules=()):
+    """Run :func:`analyze_project` on dedented fixture triples.
+
+    ``rules=()`` disables the per-module rules so assertions see only
+    the whole-program findings.
+    """
+    return analyze_project(
+        [
+            (path, module, textwrap.dedent(source))
+            for path, module, source in files
+        ],
+        rules=list(rules),
     )
-    assert rule_ids(findings) == ["errors/transport-raise"]
 
 
-def test_transport_raise_wrong_module_import():
-    findings, _ = lint(
-        """
-        from json import JSONDecodeError
+PLATFORM_ERRORS = (
+    "src/repro/platforms/errors.py",
+    "repro.platforms.errors",
+    """
+    class PlatformError(Exception):
+        pass
 
-        def dispatch(request):
-            raise JSONDecodeError("bad", "", 0)
-        """,
-        module="repro.api.routes",
-        path="src/repro/api/routes.py",
+    class BadRequestError(PlatformError):
+        pass
+    """,
+)
+
+
+def test_transport_escape_through_helper_call():
+    findings, _ = link_files(
+        (
+            "src/repro/api/wire.py",
+            "repro.api.wire",
+            """
+            def _explode():
+                raise RuntimeError("boom")
+
+            def handler(request):
+                return _explode()
+            """,
+        )
     )
-    assert rule_ids(findings) == ["errors/transport-raise"]
+    assert rule_ids(findings) == ["errors/transport-escape"]
+    # Reported at the raise site, naming the request path it escapes.
+    assert findings[0].line == 3
+    assert "handler()" in findings[0].message
+    assert "RuntimeError" in findings[0].message
 
 
-def test_transport_raise_typed_negative():
-    findings, _ = lint(
-        """
-        from repro.platforms.errors import BadRequestError
+def test_transport_escape_caught_at_call_site_negative():
+    findings, _ = link_files(
+        (
+            "src/repro/api/wire.py",
+            "repro.api.wire",
+            """
+            def _explode():
+                raise RuntimeError("boom")
 
-        def handler(request):
-            if request.body is None:
-                raise BadRequestError("missing request body")
-            raise  # bare re-raise keeps the original type
-        """,
-        module="repro.api.wire",
-        path="src/repro/api/wire.py",
+            def handler(request):
+                try:
+                    return _explode()
+                except RuntimeError:
+                    return None
+            """,
+        )
     )
     assert findings == []
 
 
-def test_transport_raise_only_on_request_paths():
-    findings, _ = lint(
-        """
-        def advance(self, seconds):
-            if seconds < 0:
-                raise ValueError("time cannot move backwards")
-        """,
-        module="repro.api.transport",
-        path="src/repro/api/transport.py",
+def test_transport_escape_platform_types_and_reraise_negative():
+    findings, _ = link_files(
+        PLATFORM_ERRORS,
+        (
+            "src/repro/api/wire.py",
+            "repro.api.wire",
+            """
+            from repro.platforms.errors import BadRequestError
+
+            def handler(request):
+                if request is None:
+                    raise BadRequestError("missing request body")
+                raise  # bare re-raise keeps the original type
+            """,
+        ),
     )
     assert findings == []
 
 
-def test_transport_raise_dynamic_value_is_skipped():
-    findings, _ = lint(
-        """
-        def handler(request, deferred):
-            raise deferred
-        """,
-        module="repro.api.routes",
-        path="src/repro/api/routes.py",
+def test_transport_escape_subclass_of_platform_error_negative():
+    findings, _ = link_files(
+        PLATFORM_ERRORS,
+        (
+            "src/repro/api/routes.py",
+            "repro.api.routes",
+            """
+            from repro.platforms.errors import BadRequestError
+
+            class MalformedBody(BadRequestError):
+                pass
+
+            def _parse():
+                raise MalformedBody("bad json")
+
+            def handler(request):
+                try:
+                    return _parse()
+                except ValueError:
+                    return None
+            """,
+        ),
+    )
+    # MalformedBody derives from the platforms.errors taxonomy, so its
+    # escape is the contract working, not a violation -- even though
+    # the except ValueError layer does not catch it.
+    assert findings == []
+
+
+def test_transport_escape_only_on_request_paths():
+    findings, _ = link_files(
+        (
+            "src/repro/api/transport.py",
+            "repro.api.transport",
+            """
+            def advance(self, seconds):
+                if seconds < 0:
+                    raise ValueError("time cannot move backwards")
+            """,
+        )
+    )
+    assert findings == []
+
+
+def test_transport_escape_exempts_fake_transport_boundary():
+    findings, _ = link_files(
+        (
+            "src/repro/api/transport.py",
+            "repro.api.transport",
+            """
+            class FakeTransport:
+                def request(self, request):
+                    raise ValueError("nope")
+            """,
+        )
+    )
+    assert findings == []
+
+
+def test_transport_escape_dynamic_value_is_skipped():
+    findings, _ = link_files(
+        (
+            "src/repro/api/routes.py",
+            "repro.api.routes",
+            """
+            def handler(request, deferred):
+                raise deferred
+            """,
+        )
+    )
+    assert findings == []
+
+
+def test_transport_escape_ignores_non_transport_modules():
+    findings, _ = link_files(
+        (
+            "src/repro/core/audit.py",
+            "repro.core.audit",
+            """
+            def handler(request):
+                raise RuntimeError("not a transport module")
+            """,
+        )
     )
     assert findings == []
 
@@ -857,3 +967,337 @@ def test_ambient_instrumentation_local_name_is_not_resolved():
         """
     )
     assert findings == []
+
+
+# -- taint/restricted-flow -------------------------------------------------
+
+RESTRICTED_IFACE = (
+    "src/repro/platforms/facebook.py",
+    "repro.platforms.facebook",
+    """
+    class FacebookRestrictedInterface:
+        def estimate_reach(self, spec):
+            return 0
+    """,
+)
+
+
+def test_taint_direct_flow_into_restricted_call():
+    findings, _ = link_files(
+        RESTRICTED_IFACE,
+        (
+            "src/repro/core/leak.py",
+            "repro.core.leak",
+            """
+            from repro.platforms.facebook import FacebookRestrictedInterface
+            from repro.population.demographics import Gender
+
+            def probe(iface: FacebookRestrictedInterface, spec):
+                tainted = spec.with_gender(Gender.FEMALE)
+                return iface.estimate_reach(tainted)
+            """,
+        ),
+    )
+    assert rule_ids(findings) == ["taint/restricted-flow"]
+    assert findings[0].line == 7
+    assert "estimate_reach" in findings[0].message
+
+
+def test_taint_flows_interprocedurally_through_returns():
+    findings, _ = link_files(
+        RESTRICTED_IFACE,
+        (
+            "src/repro/core/build.py",
+            "repro.core.build",
+            """
+            from repro.population.demographics import Gender
+
+            def build(spec):
+                return spec.with_gender(Gender.FEMALE)
+            """,
+        ),
+        (
+            "src/repro/core/use.py",
+            "repro.core.use",
+            """
+            from repro.core.build import build
+            from repro.platforms.facebook import FacebookRestrictedInterface
+
+            def probe(iface: FacebookRestrictedInterface, spec):
+                built = build(spec)
+                return iface.estimate_reach(built)
+            """,
+        ),
+    )
+    assert rule_ids(findings) == ["taint/restricted-flow"]
+    assert findings[0].path == "src/repro/core/use.py"
+
+
+def test_taint_flows_into_sink_through_callee_parameter():
+    findings, _ = link_files(
+        RESTRICTED_IFACE,
+        (
+            "src/repro/core/send.py",
+            "repro.core.send",
+            """
+            from repro.platforms.facebook import FacebookRestrictedInterface
+
+            def send(iface: FacebookRestrictedInterface, spec):
+                return iface.estimate_reach(spec)
+            """,
+        ),
+        (
+            "src/repro/core/caller.py",
+            "repro.core.caller",
+            """
+            from repro.core.send import send
+            from repro.population.demographics import Gender
+
+            def leak(iface, spec):
+                return send(iface, spec.with_gender(Gender.FEMALE))
+            """,
+        ),
+    )
+    # The violation is attributed to the caller feeding the tainted
+    # value, not the innocent pass-through helper.
+    assert rule_ids(findings) == ["taint/restricted-flow"]
+    assert findings[0].path == "src/repro/core/caller.py"
+
+
+def test_taint_spec_constructor_sensitive_keywords_are_sources():
+    findings, _ = link_files(
+        RESTRICTED_IFACE,
+        (
+            "src/repro/platforms/targeting.py",
+            "repro.platforms.targeting",
+            """
+            class TargetingSpec:
+                def __init__(self, genders=None, age_ranges=None):
+                    self.genders = genders
+                    self.age_ranges = age_ranges
+            """,
+        ),
+        (
+            "src/repro/core/spec_leak.py",
+            "repro.core.spec_leak",
+            """
+            from repro.platforms.facebook import FacebookRestrictedInterface
+            from repro.platforms.targeting import TargetingSpec
+
+            def probe(iface: FacebookRestrictedInterface):
+                spec = TargetingSpec(genders=("female",))
+                return iface.estimate_reach(spec)
+
+            def clean(iface: FacebookRestrictedInterface):
+                spec = TargetingSpec()
+                return iface.estimate_reach(spec)
+            """,
+        ),
+    )
+    assert rule_ids(findings) == ["taint/restricted-flow"]
+    assert findings[0].path == "src/repro/core/spec_leak.py"
+    assert findings[0].line == 7
+
+
+def test_taint_declassified_at_audit_measurement_seam():
+    findings, _ = link_files(
+        RESTRICTED_IFACE,
+        (
+            "src/repro/core/audit.py",
+            "repro.core.audit",
+            """
+            from repro.population.demographics import Gender
+
+            class AuditTarget:
+                def demographic_spec(self, spec):
+                    return spec.with_gender(Gender.FEMALE)
+            """,
+        ),
+        (
+            "src/repro/core/measure.py",
+            "repro.core.measure",
+            """
+            from repro.core.audit import AuditTarget
+            from repro.platforms.facebook import FacebookRestrictedInterface
+
+            def ratio(iface: FacebookRestrictedInterface, target: AuditTarget, spec):
+                sliced = target.demographic_spec(spec)
+                return iface.estimate_reach(sliced)
+            """,
+        ),
+    )
+    # demographic_spec is the audited seam: its result is declassified,
+    # so the downstream restricted call is clean.
+    assert findings == []
+
+
+def test_taint_family_wildcard_suppression():
+    findings, suppressed = link_files(
+        RESTRICTED_IFACE,
+        (
+            "src/repro/core/leak.py",
+            "repro.core.leak",
+            """
+            from repro.platforms.facebook import FacebookRestrictedInterface
+            from repro.population.demographics import Gender
+
+            def probe(iface: FacebookRestrictedInterface, spec):
+                tainted = spec.with_gender(Gender.FEMALE)
+                return iface.estimate_reach(tainted)  # repro-lint: disable=taint/*
+            """,
+        ),
+    )
+    assert findings == []
+    assert rule_ids(suppressed) == ["taint/restricted-flow"]
+
+
+# -- determinism/transitive-ambient ----------------------------------------
+
+
+def test_transitive_ambient_flags_public_function_with_chain():
+    findings, _ = link_files(
+        (
+            "src/repro/core/clocky.py",
+            "repro.core.clocky",
+            """
+            import time
+
+            def _stamp():
+                return time.time()
+
+            def snapshot():
+                return _stamp()
+            """,
+        )
+    )
+    assert rule_ids(findings) == ["determinism/transitive-ambient"]
+    assert findings[0].line == 7
+    assert "snapshot() -> _stamp()" in findings[0].message
+    assert "time.time" in findings[0].message
+
+
+def test_transitive_ambient_direct_source_is_the_per_file_rules_job():
+    findings, _ = link_files(
+        (
+            "src/repro/core/clocky.py",
+            "repro.core.clocky",
+            """
+            import time
+
+            def snapshot():
+                return time.time()
+            """,
+        )
+    )
+    # With module rules disabled, the direct read yields nothing: the
+    # transitive rule refuses to duplicate determinism/wall-clock.
+    assert findings == []
+
+
+def test_transitive_ambient_suppressed_source_does_not_propagate():
+    findings, _ = link_files(
+        (
+            "src/repro/core/clocky.py",
+            "repro.core.clocky",
+            """
+            import time
+
+            def _stamp():
+                return time.time()  # repro-lint: disable=determinism/wall-clock
+
+            def snapshot():
+                return _stamp()
+            """,
+        )
+    )
+    assert findings == []
+
+
+def test_transitive_ambient_unseeded_rng_two_hops():
+    findings, _ = link_files(
+        (
+            "src/repro/core/rngs.py",
+            "repro.core.rngs",
+            """
+            import numpy as np
+
+            def _fresh():
+                return np.random.default_rng()
+
+            def _middle():
+                return _fresh()
+
+            def sample():
+                return _middle()
+            """,
+        )
+    )
+    rules = rule_ids(findings)
+    assert rules == ["determinism/transitive-ambient"]
+    assert "sample() -> _middle() -> _fresh()" in findings[0].message
+
+
+def test_project_rule_registry_is_loaded():
+    ids = {item.id for item in all_project_rules()}
+    assert ids == {
+        "determinism/transitive-ambient",
+        "errors/transport-escape",
+        "taint/restricted-flow",
+    }
+
+
+# -- multiline statement suppression ---------------------------------------
+
+
+def test_directive_on_first_line_covers_whole_multiline_statement():
+    findings, suppressed = lint(
+        """
+        import time
+
+        def stamp():
+            return min(  # repro-lint: disable=determinism/wall-clock
+                time.time(),
+                1.0,
+            )
+        """
+    )
+    assert findings == []
+    assert rule_ids(suppressed) == ["determinism/wall-clock"]
+
+
+def test_directive_on_continuation_line_covers_whole_statement():
+    findings, suppressed = lint(
+        """
+        import time
+
+        def stamp():
+            return min(
+                1.0,
+                time.time(),
+            )  # repro-lint: disable=determinism/wall-clock
+        """
+    )
+    assert findings == []
+    assert rule_ids(suppressed) == ["determinism/wall-clock"]
+
+
+def test_family_wildcard_selector_matches_family_only():
+    findings, suppressed = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # repro-lint: disable=determinism/*
+        """
+    )
+    assert findings == []
+    assert rule_ids(suppressed) == ["determinism/wall-clock"]
+    findings, _ = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # repro-lint: disable=errors/*
+        """
+    )
+    assert rule_ids(findings) == ["determinism/wall-clock"]
